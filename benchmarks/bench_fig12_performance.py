@@ -1,0 +1,24 @@
+"""Figure 12: per-kernel performance normalized to the ST baseline.
+
+Paper shapes: Plaid averages ~1.0x the spatio-temporal CGRA (scatter in
+both directions per kernel); the spatial CGRA averages ~1.4x slower, with
+parity on kernels that need no partitioning (e.g. dwconv)."""
+
+from repro.eval import experiments
+
+
+def test_fig12_performance(figure):
+    result = figure(experiments.fig12)
+    _one, spatial_avg, plaid_avg = result.averages()
+    # Plaid preserves the baseline's performance (paper: ~1.0x).
+    assert 0.85 < plaid_avg < 1.35
+    # Spatial pays for partitioning (paper: ~1.4x).
+    assert 1.08 < spatial_avg < 2.1
+    # Per-kernel scatter exists in both directions for Plaid.
+    ratios = [row.normalized()[2] for row in result.rows]
+    assert any(r < 1.0 for r in ratios)
+    assert any(r > 1.0 for r in ratios)
+    # Parity cases for spatial exist (simple kernels, no partitioning).
+    spatial_ratios = {row.workload: row.normalized()[1]
+                      for row in result.rows}
+    assert spatial_ratios["dwconv"] < 1.25

@@ -1,0 +1,16 @@
+"""Figure 13: Plaid fabric area breakdown (33,366 um^2 at 22nm FDSOI)."""
+
+from repro.eval import experiments
+
+PAPER = {"local_router": 0.09, "global_router": 0.30,
+         "compute_config": 0.24, "comm_config": 0.21,
+         "compute": 0.11, "other": 0.05}
+
+
+def test_fig13_area_breakdown(figure):
+    result = figure(experiments.fig13)
+    assert abs(result.fabric_um2 - 33_366) < 40
+    for module, expected in PAPER.items():
+        assert abs(result.breakdown[module] - expected) < 0.01, module
+    # Headline: 46% fabric area saving vs the spatio-temporal baseline.
+    assert abs(result.st_ratio - 0.54) < 0.02

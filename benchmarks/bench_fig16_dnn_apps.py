@@ -1,0 +1,16 @@
+"""Figure 16: application-level DNN comparison, spatial vs Plaid.
+
+Paper: across three TinyML networks the spatial CGRA consumes ~1.42x the
+energy and reaches ~0.36x the perf/area of Plaid."""
+
+from repro.eval import experiments
+
+
+def test_fig16_dnn_apps(figure):
+    result = figure(experiments.fig16)
+    assert len(result.rows) == 3
+    for row in result.rows:
+        # Spatial costs more energy at the application level...
+        assert row.energy_ratio > 1.2
+        # ...and delivers a fraction of Plaid's perf/area (paper ~0.36).
+        assert 0.15 < row.perf_area_ratio < 0.6

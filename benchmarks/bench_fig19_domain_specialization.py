@@ -1,0 +1,24 @@
+"""Figure 19: domain specialization on ML kernels.
+
+Paper (normalized to Plaid): general Plaid beats the ML-specialized
+spatio-temporal CGRA (ST-ML consumes ~1.22x Plaid's energy and offers
+~0.79x its perf/area); Plaid-ML improves further (~0.91x energy, ~1.16x
+perf/area — i.e. 25.5% energy reduction and 1.46x perf/area vs ST-ML)."""
+
+from repro.eval import experiments
+
+
+def test_fig19_domain_specialization(figure):
+    result = figure(experiments.fig19)
+    energy = result.energy
+    ppa = result.perf_per_area
+    # Ordering on energy: ST > ST-ML > Plaid > Plaid-ML.
+    assert energy["st"] > energy["st-ml"] > energy["plaid"] \
+        > energy["plaid-ml"]
+    # Ordering on perf/area: Plaid-ML > Plaid > ST-ML > ST.
+    assert ppa["plaid-ml"] > ppa["plaid"] > ppa["st-ml"] > ppa["st"]
+    # Magnitudes near the paper's.
+    assert 1.05 < energy["st-ml"] < 1.45          # paper ~1.22
+    assert 0.80 < energy["plaid-ml"] < 1.00       # paper ~0.91
+    assert 1.05 < ppa["plaid-ml"] < 1.35          # paper ~1.16
+    assert 0.60 < ppa["st-ml"] < 0.95             # paper ~0.79

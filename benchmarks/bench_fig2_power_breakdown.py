@@ -1,0 +1,22 @@
+"""Figure 2: fabric power distribution, spatio-temporal vs Plaid.
+
+Paper: ST splits 15% routers / 29% comm config / 19% compute config /
+28% compute / 9% other; Plaid consumes 57% of the baseline's power with
+compute rising to ~49% of its (smaller) total."""
+
+from repro.eval import experiments
+
+PAPER_ST = {"router": 0.15, "comm_config": 0.29, "compute_config": 0.19,
+            "compute": 0.28, "other": 0.09}
+
+
+def test_fig2_power_breakdown(figure):
+    result = figure(experiments.fig2)
+    # Fleet-average ST distribution within a few points of the paper's.
+    for module, expected in PAPER_ST.items():
+        assert abs(result.st_breakdown[module] - expected) < 0.06, module
+    # Plaid's compute share roughly half its total (collective routing
+    # shrank everything else).
+    assert result.plaid_breakdown["compute"] > 0.40
+    # The headline: ~43% power reduction.
+    assert 0.47 < result.power_ratio < 0.67

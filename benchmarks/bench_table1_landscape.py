@@ -1,0 +1,14 @@
+"""Table 1: the reconfigurable-architecture landscape (qualitative)."""
+
+from repro.eval.landscape import landscape_table
+
+
+def test_table1_landscape(benchmark):
+    table = benchmark.pedantic(landscape_table, rounds=1, iterations=1)
+    print()
+    print(table)
+    assert "Plaid (this work)" in table
+    # The landscape claim: only Plaid is high on all three axes.
+    plaid_row = next(line for line in table.splitlines()
+                     if "this work" in line)
+    assert plaid_row.count("High") == 3

@@ -1,0 +1,22 @@
+"""Table 2: workload characteristics (nodes, compute nodes, motif cover).
+
+Prints our DFG statistics side by side with the paper's rows and checks
+they are the same order of magnitude (the frontend is ours, not LLVM, so
+exact counts differ)."""
+
+from repro.eval import experiments
+
+
+def test_table2_workloads(figure):
+    result = figure(experiments.table2)
+    assert len(result.rows) == 30
+    for row in result.rows:
+        paper_nodes = row.paper[0]
+        assert 0.4 * paper_nodes <= row.nodes <= 2.0 * paper_nodes
+        # Motifs never cover more than the compute nodes.
+        assert row.covered <= row.compute
+    # Most DFGs get meaningful 3-node motif coverage.
+    covered_fraction = sum(
+        1 for row in result.rows if row.covered >= 0.3 * row.compute
+    )
+    assert covered_fraction >= 20

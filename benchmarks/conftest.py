@@ -1,0 +1,31 @@
+"""Shared fixtures for the per-figure benchmarks.
+
+Each benchmark regenerates one table or figure of the paper.  The
+underlying evaluations are memoized in :mod:`repro.eval.harness`, so the
+full suite maps every (workload, architecture, mapper) configuration once
+per pytest session; individual benchmarks time their experiment function
+with a single pedantic round (mapping is deterministic — statistical
+repetition would only re-read the memoization cache).
+"""
+
+import pytest
+
+
+def run_once(benchmark, func):
+    """Benchmark ``func`` with one warm round and return its result."""
+    return benchmark.pedantic(func, rounds=1, iterations=1,
+                              warmup_rounds=0)
+
+
+@pytest.fixture
+def figure(benchmark):
+    """Run an experiment function once under the benchmark timer and
+    print its paper-style rendering."""
+
+    def runner(func):
+        result = run_once(benchmark, func)
+        print()
+        print(result.render() if hasattr(result, "render") else result)
+        return result
+
+    return runner

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Application-level DNN study (Figure 16).
+
+Evaluates three TinyML-style networks (10/13/16 layers of conv / dwconv /
+fc) on Plaid and on the spatial CGRA, summing per-layer kernel results
+weighted by channel counts, and prints layer-by-layer detail for one
+network.
+
+Run:  python examples/dnn_application.py
+"""
+
+from repro.eval import experiments
+from repro.eval.harness import evaluate_kernel
+from repro.utils.tables import format_table
+from repro.workloads import DNN_APPS
+
+
+def layer_detail(app) -> None:
+    rows = []
+    for index, layer in enumerate(app.layers):
+        plaid = evaluate_kernel(layer.kernel, "plaid")
+        spatial = evaluate_kernel(layer.kernel, "spatial")
+        rows.append([
+            index,
+            layer.describe(),
+            plaid.cycles * layer.invocations,
+            spatial.cycles * layer.invocations,
+            round(plaid.energy * layer.invocations, 1),
+            round(spatial.energy * layer.invocations, 1),
+        ])
+    print(format_table(
+        ["#", "layer", "plaid cycles", "spatial cycles",
+         "plaid nJ", "spatial nJ"],
+        rows,
+        title=f"{app.name}: per-layer breakdown",
+    ))
+
+
+def main() -> None:
+    print(experiments.fig16().render())
+    print()
+    layer_detail(DNN_APPS[0])
+
+
+if __name__ == "__main__":
+    main()

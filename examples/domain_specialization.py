@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Domain specialization study (Figure 19).
+
+Compares, on the machine-learning kernels: the general spatio-temporal
+CGRA (ST), its ML-pruned variant (ST-ML), general-purpose Plaid, and
+Plaid-ML with hardwired motif PCUs (2 fan-in, 1 unicast, 1 fan-out).
+Also demonstrates the generality cost of specialization: ST-ML refuses
+kernels that need pruned ops.
+
+Run:  python examples/domain_specialization.py
+"""
+
+from repro.errors import MappingError
+from repro.eval import experiments
+from repro.eval.harness import build_arch, evaluate_kernel
+from repro.mapping import minimum_ii
+from repro.utils.tables import format_table
+from repro.workloads import get_dfg, workloads_by_domain
+
+
+def per_kernel_table() -> None:
+    rows = []
+    for spec in workloads_by_domain("ml"):
+        row = [spec.name]
+        for arch_key in ("st", "st-ml", "plaid", "plaid-ml"):
+            result = evaluate_kernel(spec.name, arch_key)
+            row.append(result.ii)
+            row.append(round(result.energy, 1))
+        rows.append(row)
+    print(format_table(
+        ["kernel",
+         "st II", "st nJ", "st-ml II", "st-ml nJ",
+         "plaid II", "plaid nJ", "plaid-ml II", "plaid-ml nJ"],
+        rows,
+        title="ML kernels across specialization variants",
+    ))
+
+
+def generality_check() -> None:
+    """ST-ML loses generality: non-ML kernels with pruned ops fail."""
+    st_ml = build_arch("st-ml")
+    failures = []
+    for spec in workloads_by_domain("image"):
+        try:
+            minimum_ii(get_dfg(spec.name), st_ml)
+        except MappingError as error:
+            failures.append((spec.name, str(error).split("(")[0].strip()))
+    print(f"\nST-ML generality loss: {len(failures)} image kernels "
+          "cannot even start mapping:")
+    for name, reason in failures[:5]:
+        print(f"  {name}: {reason}")
+
+
+def main() -> None:
+    print(experiments.fig19().render())
+    print()
+    per_kernel_table()
+    generality_check()
+
+
+if __name__ == "__main__":
+    main()

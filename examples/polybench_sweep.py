@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Sweep every evaluated workload across the three fabric families.
+
+Reproduces the per-kernel comparisons of Figures 12, 14, and 15 (cycles,
+energy, performance per area, all normalized to the spatio-temporal
+baseline) and prints the paper-style tables.  Expect a few minutes on the
+first run; results are memoized within the process.
+
+Run:  python examples/polybench_sweep.py [--domain linear-algebra|ml|image]
+"""
+
+import argparse
+
+from repro.eval import experiments
+from repro.eval.harness import evaluate_kernel
+from repro.utils.tables import format_table
+from repro.workloads import all_workloads, workloads_by_domain
+
+
+def sweep(domain: str | None) -> None:
+    specs = workloads_by_domain(domain) if domain else all_workloads()
+    rows = []
+    for spec in specs:
+        st = evaluate_kernel(spec.name, "st")
+        spatial = evaluate_kernel(spec.name, "spatial")
+        plaid = evaluate_kernel(spec.name, "plaid")
+        rows.append([
+            spec.name,
+            st.ii, spatial.ii, plaid.ii,
+            spatial.cycles / st.cycles,
+            plaid.cycles / st.cycles,
+            spatial.energy / st.energy,
+            plaid.energy / st.energy,
+        ])
+    print(format_table(
+        ["kernel", "II st", "II spat", "II plaid",
+         "cyc spat/st", "cyc plaid/st", "en spat/st", "en plaid/st"],
+        rows,
+        title="Per-kernel sweep (normalized to spatio-temporal)",
+    ))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--domain", choices=["linear-algebra", "ml", "image"],
+                        default=None)
+    parser.add_argument("--full-figures", action="store_true",
+                        help="also print the Fig. 12/14/15 tables")
+    args = parser.parse_args()
+    sweep(args.domain)
+    if args.full_figures:
+        print()
+        print(experiments.fig12().render())
+        print()
+        print(experiments.fig14().render())
+        print()
+        print(experiments.fig15().render())
+
+
+if __name__ == "__main__":
+    main()

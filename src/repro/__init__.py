@@ -1,0 +1,13 @@
+"""Plaid (ASPLOS 2025) reproduction: CGRA architecture + compiler with
+aligned compute and communication provisioning.
+
+Subpackages: :mod:`repro.ir` (dataflow IR), :mod:`repro.frontend`
+(annotated-C), :mod:`repro.motifs` (Algorithm 1 + templates),
+:mod:`repro.arch` (fabrics + MRRG), :mod:`repro.mapping` (Algorithm 2 and
+baselines), :mod:`repro.sim` (cycle-accurate simulation),
+:mod:`repro.power` (power/area), :mod:`repro.workloads` (Table 2),
+:mod:`repro.eval` (per-figure experiments).  ``python -m repro --help``
+for the CLI.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,38 @@
+"""Architecture models.
+
+Three fabric families, all exposing the same resource-graph interface so the
+mappers and the simulator stay architecture-agnostic:
+
+* :func:`~repro.arch.spatio_temporal.make_spatio_temporal` — the baseline
+  high-performance CGRA (4x4 PE mesh, per-PE crossbar router, per-cycle
+  reconfiguration);
+* :func:`~repro.arch.spatial.make_spatial` — the energy-minimal spatial
+  CGRA (fixed configuration per phase, clock-gated config memory);
+* :func:`~repro.arch.plaid.make_plaid` — the paper's architecture: a mesh
+  of Plaid Collective Units (3 ALUs + 1 ALSU around a local router, global
+  routers forming the hierarchical NoC, bypass paths between adjacent ALUs).
+
+:mod:`repro.arch.specialize` derives the domain-optimized variants (ST-ML,
+Plaid-ML); :mod:`repro.arch.mrrg` builds the modulo routing resource graph
+used for placement and routing.
+"""
+
+from repro.arch.base import Architecture, FunctionalUnit, Place, Move
+from repro.arch.spatio_temporal import make_spatio_temporal
+from repro.arch.spatial import make_spatial
+from repro.arch.plaid import make_plaid
+from repro.arch.specialize import make_st_ml, make_plaid_ml
+from repro.arch.mrrg import MRRG
+
+__all__ = [
+    "Architecture",
+    "FunctionalUnit",
+    "MRRG",
+    "Move",
+    "Place",
+    "make_plaid",
+    "make_plaid_ml",
+    "make_spatial",
+    "make_spatio_temporal",
+    "make_st_ml",
+]

@@ -1,0 +1,243 @@
+"""Modulo Routing Resource Graph (MRRG).
+
+The MRRG folds the architecture's transport graph over an initiation
+interval: usage of any resource at absolute cycle ``t`` lands on modulo slot
+``t mod II``, and every (resource, slot) pair has finite capacity.  Because
+a value that stays alive longer than II cycles overlaps with the next
+iteration's copy of itself, occupancy is counted per *(net, absolute
+cycle)*: the same net occupying the same modulo slot at two absolute cycles
+charges the slot twice (two in-flight iterations), while two sinks of the
+same net sharing a segment charge it once.
+
+Resources tracked:
+
+* ``("fu", fu_id)`` — one executed node per cycle slot;
+* ``("place", place_id)`` — register occupancy (capacity = register count);
+* ``("res", name)`` — named wires/ports shared by moves and reads.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.arch.base import Architecture
+from repro.errors import MappingError
+
+ResourceKey = tuple[str, object]
+
+
+@dataclass(frozen=True)
+class RouteStep:
+    """One unit of resource usage by a routed value.
+
+    kind: 'occupy' (place holds net at cycle), 'move' (resource charged for
+    a transfer departing at cycle), or 'read' (consume-side wire charge).
+    """
+
+    kind: str
+    resource: ResourceKey
+    cycle: int          # absolute cycle of the charge
+
+
+@dataclass
+class Route:
+    """A routed dependence: the occupancy/move/read steps plus endpoints."""
+
+    net: int                        # producer node id
+    steps: tuple[RouteStep, ...]
+    src_fu: int
+    dst_fu: int
+    depart_cycle: int               # producer execution cycle
+    arrive_cycle: int               # consumer execution cycle
+    places: tuple[tuple[int, int], ...] = ()   # (place_id, cycle) occupancy
+    bypass: bool = False
+
+
+class MRRG:
+    """Mutable modulo resource accounting over an architecture.
+
+    The mapper owns one MRRG per candidate II.  Nodes are committed with
+    :meth:`place_node` / :meth:`unplace_node`; routed edges with
+    :meth:`commit_route` / :meth:`uncommit_route`.  ``overuse()`` reports
+    capacity violations (PathFinder tolerates them transiently; final
+    mappings must be violation-free).
+    """
+
+    def __init__(self, arch: Architecture, ii: int) -> None:
+        if ii < 1:
+            raise MappingError("II must be >= 1")
+        if ii > arch.config_entries:
+            raise MappingError(
+                f"II {ii} exceeds the {arch.config_entries}-entry config "
+                "memory"
+            )
+        self.arch = arch
+        self.ii = ii
+        # usage[(resource, slot)] = {net: {absolute cycle: refcount}}.
+        # Refcounts matter because several routes of one fanout net share
+        # segments: the shared charge must survive until the LAST sharing
+        # route is uncommitted.  Capacity counts distinct (net, cycle)
+        # pairs — sharing routes occupy the wire once.
+        self._usage: dict[tuple[ResourceKey, int],
+                          dict[int, dict[int, int]]] = defaultdict(dict)
+        # fu occupancy: (fu, slot) -> node_id
+        self._fu_nodes: dict[tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # Capacity helpers
+    # ------------------------------------------------------------------
+    def capacity(self, resource: ResourceKey) -> int:
+        kind, ident = resource
+        if kind == "fu":
+            return 1
+        if kind == "place":
+            return self.arch.place(ident).capacity
+        if kind == "res":
+            return self.arch.resource_caps.get(ident, 1)
+        raise MappingError(f"unknown resource kind {kind}")
+
+    def usage_count(self, resource: ResourceKey, slot: int) -> int:
+        """Capacity-relevant usage of one modulo slot.
+
+        Register places hold live values: the same net alive at two
+        absolute cycles congruent mod II has two in-flight copies, so each
+        distinct cycle counts.  Wires/ports ('res') are combinational: the
+        slot's select is programmed once per net, so a net counts once no
+        matter how many iterations' values cross it.
+        """
+        nets = self._usage.get((resource, slot))
+        if not nets:
+            return 0
+        if resource[0] == "res":
+            return len(nets)
+        return sum(len(cycles) for cycles in nets.values())
+
+    def slot(self, cycle: int) -> int:
+        return cycle % self.ii
+
+    # ------------------------------------------------------------------
+    # FU placement
+    # ------------------------------------------------------------------
+    def fu_free(self, fu_id: int, cycle: int) -> bool:
+        return (fu_id, self.slot(cycle)) not in self._fu_nodes
+
+    def node_at(self, fu_id: int, cycle: int) -> int | None:
+        return self._fu_nodes.get((fu_id, self.slot(cycle)))
+
+    def place_node(self, node_id: int, fu_id: int, cycle: int) -> None:
+        key = (fu_id, self.slot(cycle))
+        if key in self._fu_nodes:
+            raise MappingError(
+                f"FU {fu_id} slot {key[1]} already holds node "
+                f"{self._fu_nodes[key]}"
+            )
+        self._fu_nodes[key] = node_id
+
+    def unplace_node(self, node_id: int, fu_id: int, cycle: int) -> None:
+        key = (fu_id, self.slot(cycle))
+        if self._fu_nodes.get(key) != node_id:
+            raise MappingError(f"node {node_id} not on FU {fu_id} @{key[1]}")
+        del self._fu_nodes[key]
+
+    # ------------------------------------------------------------------
+    # Route accounting
+    # ------------------------------------------------------------------
+    def _charge(self, net: int, resource: ResourceKey, cycle: int) -> None:
+        slot_usage = self._usage[(resource, self.slot(cycle))]
+        cycles = slot_usage.setdefault(net, {})
+        cycles[cycle] = cycles.get(cycle, 0) + 1
+
+    def _discharge(self, net: int, resource: ResourceKey, cycle: int) -> None:
+        key = (resource, self.slot(cycle))
+        slot_usage = self._usage.get(key)
+        if not slot_usage or net not in slot_usage:
+            return
+        cycles = slot_usage[net]
+        count = cycles.get(cycle, 0)
+        if count <= 1:
+            cycles.pop(cycle, None)
+        else:
+            cycles[cycle] = count - 1
+        if not cycles:
+            del slot_usage[net]
+        if not slot_usage:
+            del self._usage[key]
+
+    def commit_route(self, route: Route) -> None:
+        for step in route.steps:
+            self._charge(route.net, step.resource, step.cycle)
+
+    def uncommit_route(self, route: Route) -> None:
+        for step in route.steps:
+            self._discharge(route.net, step.resource, step.cycle)
+
+    # ------------------------------------------------------------------
+    # Congestion queries
+    # ------------------------------------------------------------------
+    def step_cost(self, net: int, resource: ResourceKey, cycle: int,
+                  history: dict | None = None,
+                  present_factor: float = 4.0) -> float:
+        """Congestion-aware cost of charging one step.
+
+        Re-charging a (net, cycle) pair already present is free (shared
+        segment of a fanout net).  Otherwise cost grows with how close the
+        slot is to (or beyond) capacity, PathFinder-style, with an optional
+        historical-congestion term.
+        """
+        slot = self.slot(cycle)
+        nets = self._usage.get((resource, slot))
+        if nets and net in nets \
+                and (resource[0] == "res" or cycle in nets[net]):
+            return 0.0
+        count = self.usage_count(resource, slot)
+        cap = self.capacity(resource)
+        base = 1.0
+        over = count + 1 - cap
+        congestion = present_factor * over if over > 0 else 0.0
+        hist = 0.0
+        if history is not None:
+            hist = history.get((resource, slot), 0.0)
+        return base + congestion + hist
+
+    def overuse(self) -> list[tuple[ResourceKey, int, int, int]]:
+        """(resource, slot, used, capacity) for every violated slot."""
+        violations = []
+        for (resource, slot), nets in self._usage.items():
+            used = self.usage_count(resource, slot)
+            cap = self.capacity(resource)
+            if used > cap:
+                violations.append((resource, slot, used, cap))
+        return violations
+
+    def is_legal(self) -> bool:
+        return not self.overuse()
+
+    def occupancy_snapshot(self) -> dict[tuple[ResourceKey, int], int]:
+        """Usage counts per (resource, slot) — the activity statistics the
+        power model consumes."""
+        return {
+            key: sum(len(times) for times in nets.values())
+            for key, nets in self._usage.items()
+        }
+
+    def utilization(self) -> dict[str, float]:
+        """Aggregate utilization statistics for the power model."""
+        fu_busy = len(self._fu_nodes)
+        fu_total = len(self.arch.fus) * self.ii
+        move_charges = 0
+        place_charges = 0
+        for (resource, _slot), nets in self._usage.items():
+            count = sum(len(times) for times in nets.values())
+            if resource[0] == "res":
+                move_charges += count
+            elif resource[0] == "place":
+                place_charges += count
+        wire_total = max(1, len(self.arch.resource_caps) * self.ii)
+        reg_total = max(
+            1, sum(p.capacity for p in self.arch.places) * self.ii)
+        return {
+            "fu": fu_busy / fu_total if fu_total else 0.0,
+            "wires": min(1.0, move_charges / wire_total),
+            "registers": min(1.0, place_charges / reg_total),
+        }

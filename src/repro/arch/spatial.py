@@ -1,0 +1,33 @@
+"""Energy-minimal spatial CGRA baseline (SNAFU/Riptide-style, mesh NoC).
+
+Structurally a mesh of PEs like the spatio-temporal baseline, but the
+configuration is *fixed* for the duration of a phase: each PE executes one
+pinned operation and each router out-port forwards one pinned signal.  The
+config memory is clock-gated during execution (the power model exploits
+this), and kernels whose DFG does not fit a single configuration must be
+partitioned into phases with intermediates spilled through the SPM
+(:mod:`repro.mapping.spatial_mapper`).
+"""
+
+from __future__ import annotations
+
+from repro.arch.base import Architecture
+from repro.arch.spatio_temporal import make_spatio_temporal
+
+#: Cycles to load one phase configuration (a single entry per tile,
+#: streamed row-parallel — spatial fabrics reconfigure quickly).
+RECONFIG_CYCLES_PER_PHASE = 12
+
+
+def make_spatial(rows: int = 4, cols: int = 4,
+                 name: str | None = None) -> Architecture:
+    """Build the spatial CGRA (default 4x4, 16 FUs, 4 memory ports)."""
+    arch = make_spatio_temporal(rows, cols,
+                                name=name or f"spatial-{rows}x{cols}")
+    arch.style = "spatial"
+    arch.name = name or f"spatial-{rows}x{cols}"
+    # Spatial dataflow fabrics ship small elastic buffers per PE instead of
+    # a time-shared register file; capacity is per *signal*, not per cycle.
+    arch.params["reconfig_cycles"] = RECONFIG_CYCLES_PER_PHASE
+    arch.params["clock_gated_config"] = 1.0
+    return arch

@@ -1,0 +1,101 @@
+"""Baseline high-performance spatio-temporal CGRA (Figure 3).
+
+A ``rows x cols`` mesh of PEs.  Each PE couples one ALU with a crossbar
+router, a small register file, and a per-cycle-reconfigured 16-entry config
+memory.  One PE per 2x2 block carries a load/store port into the scratchpad
+(4 ports on a 4x4, 9 on a 6x6) — the same memory throughput and spatial
+spread as Plaid's per-PCU ALSUs, so comparisons are provisioning-fair.
+
+Transport model: a result written at cycle ``s`` lives in the producer PE's
+register file from ``s+1``; the PE itself reads it for free, neighbours read
+it over the mesh wire (charging the link), and multi-hop transport moves it
+one PE per cycle through the routers.
+"""
+
+from __future__ import annotations
+
+from repro.arch.base import ALL_COMPUTE, ALL_OPS, Architecture, FunctionalUnit, Move, Place
+from repro.arch.topology import mesh_neighbors, tile_coords
+
+#: Register-file slots per PE available for routing/holding values.
+PE_REGISTERS = 4
+
+#: Per-PE crossbar geometry (inputs x outputs) used by the power model:
+#: inputs = 4 mesh + ALU out + RF; outputs = 4 mesh + 2 operands.
+PE_XBAR_IN = 6
+PE_XBAR_OUT = 6
+
+#: Configuration-word widths (bits per cycle per PE), used by the power
+#: model and by the configuration encoder.
+PE_COMPUTE_CONFIG_BITS = 16    # opcode(4) + constant(8) + operand selects(4)
+PE_COMM_CONFIG_BITS = 20       # 4 out-port selects(3b) + RF write/read(8b)
+
+
+def _memory_tiles(rows: int, cols: int) -> set[int]:
+    """One memory-capable PE per 2x2 block (4 for a 4x4, 9 for a 6x6),
+    placed at each block's north-west corner."""
+    tiles = set()
+    for row in range(0, rows, 2):
+        for col in range(0, cols, 2):
+            tiles.add(row * cols + col)
+    return tiles
+
+
+def make_spatio_temporal(rows: int = 4, cols: int = 4,
+                         name: str | None = None) -> Architecture:
+    """Build the baseline spatio-temporal CGRA (default 4x4, 16 FUs)."""
+    arch = Architecture(
+        name=name or f"spatio-temporal-{rows}x{cols}",
+        style="spatio-temporal",
+        rows=rows,
+        cols=cols,
+        spm_banks=len(_memory_tiles(rows, cols)),
+        params={
+            "pes": rows * cols,
+            "xbar_in": PE_XBAR_IN,
+            "xbar_out": PE_XBAR_OUT,
+            "compute_config_bits": PE_COMPUTE_CONFIG_BITS,
+            "comm_config_bits": PE_COMM_CONFIG_BITS,
+            "registers_per_tile": PE_REGISTERS,
+        },
+    )
+    # One place (the register file) per PE.
+    for tile in range(rows * cols):
+        row, col = tile_coords(tile, cols)
+        arch.places.append(Place(
+            place_id=tile,
+            name=f"rf[{row}][{col}]",
+            tile=tile,
+            capacity=PE_REGISTERS,
+        ))
+    # One FU per PE; one memory-capable PE per quadrant-ish block so the
+    # fabric's memory ports are spread like Plaid's per-PCU ALSUs (equal
+    # provisioning, Section 6.3's "same number of functional units").
+    memory_tiles = _memory_tiles(rows, cols)
+    for tile in range(rows * cols):
+        row, col = tile_coords(tile, cols)
+        is_memory = tile in memory_tiles
+        arch.fus.append(FunctionalUnit(
+            fu_id=tile,
+            name=f"pe[{row}][{col}]",
+            tile=tile,
+            slot=0,
+            ops=ALL_OPS if is_memory else ALL_COMPUTE,
+            is_memory=is_memory,
+        ))
+        arch.produce_place[tile] = tile
+        # Free read of the own RF; neighbour reads charge the mesh wire.
+        consume: dict[int, str | None] = {tile: None}
+        for direction, neighbor in mesh_neighbors(tile, rows, cols):
+            consume[neighbor] = f"link[{neighbor}->{tile}]"
+        arch.consume_places[tile] = consume
+    # Mesh moves between register files (router hop = 1 cycle).
+    for tile in range(rows * cols):
+        for direction, neighbor in mesh_neighbors(tile, rows, cols):
+            resource = f"link[{tile}->{neighbor}]"
+            arch.moves.append(Move(
+                src=tile, dst=neighbor, resource=resource, capacity=1,
+            ))
+            arch.resource_caps[resource] = 1
+    arch.validate()
+    return arch

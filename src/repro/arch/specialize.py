@@ -1,0 +1,98 @@
+"""Domain-specialized architecture variants (Section 4.4, Figure 19).
+
+* **ST-ML** prunes the baseline spatio-temporal CGRA for the machine
+  learning domain (REVAMP-style): the op set shrinks to the ops ML kernels
+  use and datapath/config widths are trimmed.  Performance on ML kernels is
+  unchanged; generality is lost (non-ML ops are unavailable).
+
+* **Plaid-ML** hardwires one motif kind per PCU in place of the local
+  router (2 fan-in, 1 unicast, 1 fan-out on the 2x2 array, matching the
+  paper).  The global datapath stays fully reconfigurable.  The mapper must
+  then place only matching motifs on each PCU, which
+  :class:`~repro.mapping.plaid_mapper.PlaidMapper` honours via the
+  ``hardwired_motifs`` parameter.
+"""
+
+from __future__ import annotations
+
+from repro.arch.base import Architecture
+from repro.arch.plaid import make_plaid
+from repro.arch.spatio_temporal import make_spatio_temporal
+from repro.errors import ArchitectureError
+from repro.ir.ops import MEMORY_OPS, Opcode
+from repro.motifs.types import MotifKind
+
+#: Ops the ML kernels (conv / dwconv / fc and their activations) need.
+ML_OPS = frozenset({
+    Opcode.ADD, Opcode.SUB, Opcode.MUL,
+    Opcode.SHL, Opcode.SHR,
+    Opcode.MIN, Opcode.MAX,      # relu / pooling
+})
+
+#: Fraction of compute datapath and compute-config retained after pruning
+#: (7 of 15 ops plus narrowed constants; REVAMP reports roughly half).
+ML_COMPUTE_SCALE = 0.5
+ML_COMPUTE_CONFIG_SCALE = 0.55
+
+#: Plaid-ML: the local router and the local-communication half of the
+#: config vanish from hardwired PCUs.
+HARDWIRED_LOCAL_COMM_CONFIG_SCALE = 0.45
+
+#: Hardwired motif kinds for the default 2x2 Plaid-ML (paper Section 7.3).
+PLAID_ML_MOTIFS: tuple[MotifKind, ...] = (
+    MotifKind.FAN_IN, MotifKind.FAN_IN, MotifKind.UNICAST, MotifKind.FAN_OUT,
+)
+
+
+def make_st_ml(rows: int = 4, cols: int = 4) -> Architecture:
+    """Machine-learning-pruned spatio-temporal CGRA."""
+    arch = make_spatio_temporal(rows, cols, name=f"st-ml-{rows}x{cols}")
+    arch.name = f"st-ml-{rows}x{cols}"
+    pruned = []
+    for fu in arch.fus:
+        kept = (fu.ops & ML_OPS) | (fu.ops & frozenset(MEMORY_OPS))
+        pruned.append(type(fu)(
+            fu_id=fu.fu_id, name=fu.name, tile=fu.tile, slot=fu.slot,
+            ops=kept, is_memory=fu.is_memory,
+        ))
+    arch.fus = pruned
+    arch.params["compute_scale"] = ML_COMPUTE_SCALE
+    arch.params["compute_config_scale"] = ML_COMPUTE_CONFIG_SCALE
+    return arch
+
+
+def make_plaid_ml(rows: int = 2, cols: int = 2,
+                  hardwired: tuple[MotifKind, ...] | None = None
+                  ) -> Architecture:
+    """Plaid with hardwired motif PCUs (local routers replaced by wires)."""
+    arch = make_plaid(rows, cols, name=f"plaid-ml-{rows}x{cols}")
+    arch.name = f"plaid-ml-{rows}x{cols}"
+    motifs = hardwired if hardwired is not None else PLAID_ML_MOTIFS
+    if len(motifs) != rows * cols:
+        raise ArchitectureError(
+            f"need one hardwired motif per PCU ({rows * cols}), "
+            f"got {len(motifs)}"
+        )
+    for kind in motifs:
+        if kind not in (MotifKind.FAN_IN, MotifKind.FAN_OUT,
+                        MotifKind.UNICAST):
+            raise ArchitectureError(
+                f"only three-node motifs can be hardwired, not {kind.value}"
+            )
+    # The mapper reads this annotation; MRRG structure is unchanged (the
+    # hardwired pattern replaces the local router for the motif's internal
+    # edges, which were free-ish anyway; the restriction is on *placement*).
+    arch.params["hardwired_motifs"] = tuple(kind.value for kind in motifs)
+    arch.params["local_comm_config_scale"] = HARDWIRED_LOCAL_COMM_CONFIG_SCALE
+    arch.params["local_router_removed"] = 1.0
+    return arch
+
+
+def hardwired_motif_kinds(arch: Architecture) -> dict[int, MotifKind] | None:
+    """Per-PCU hardwired motif kind, or None for general-purpose Plaid."""
+    encoded = arch.params.get("hardwired_motifs")
+    if encoded is None:
+        return None
+    return {
+        pcu: MotifKind(value) for pcu, value in enumerate(encoded)
+    }

@@ -1,0 +1,35 @@
+"""Mesh topology helpers shared by all fabrics."""
+
+from __future__ import annotations
+
+
+def tile_index(row: int, col: int, cols: int) -> int:
+    """Row-major tile index."""
+    return row * cols + col
+
+
+def tile_coords(tile: int, cols: int) -> tuple[int, int]:
+    """Inverse of :func:`tile_index`."""
+    return divmod(tile, cols)
+
+
+def mesh_neighbors(tile: int, rows: int, cols: int) -> list[tuple[str, int]]:
+    """(direction, neighbor_tile) pairs for a 2D mesh, N/S/E/W order."""
+    row, col = tile_coords(tile, cols)
+    neighbors = []
+    if row > 0:
+        neighbors.append(("N", tile_index(row - 1, col, cols)))
+    if row < rows - 1:
+        neighbors.append(("S", tile_index(row + 1, col, cols)))
+    if col < cols - 1:
+        neighbors.append(("E", tile_index(row, col + 1, cols)))
+    if col > 0:
+        neighbors.append(("W", tile_index(row, col - 1, cols)))
+    return neighbors
+
+
+def manhattan(tile_a: int, tile_b: int, cols: int) -> int:
+    """Hop distance between two tiles on the mesh."""
+    row_a, col_a = tile_coords(tile_a, cols)
+    row_b, col_b = tile_coords(tile_b, cols)
+    return abs(row_a - row_b) + abs(col_a - col_b)

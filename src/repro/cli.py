@@ -1,0 +1,215 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``compile``  — compile a kernel file to a DFG and print its summary
+  (``--dot`` emits Graphviz with motifs colored);
+* ``map``      — map a registered workload (or kernel file) onto a fabric
+  and print II / cycles / utilization;
+* ``simulate`` — map, then run the cycle-accurate simulator and verify
+  against the reference interpreter;
+* ``report``   — print one experiment (``table2``, ``fig2`` .. ``fig19``)
+  or the reproduction ``scorecard``;
+* ``workloads`` — list the 30 evaluated DFGs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ReproError
+
+
+def _load_dfg(args):
+    from repro.frontend import compile_kernel
+    from repro.workloads import get_dfg, all_workloads
+
+    if args.workload:
+        return get_dfg(args.workload)
+    if args.file:
+        with open(args.file) as handle:
+            source = handle.read()
+        shapes = {}
+        for spec in (args.shape or []):
+            name, dims = spec.split("=")
+            shapes[name] = tuple(int(d) for d in dims.split("x"))
+        return compile_kernel(source, name=args.file, array_shapes=shapes,
+                              unroll=args.unroll)
+    raise ReproError("give --workload NAME or --file KERNEL.c")
+
+
+def _build_arch(key: str):
+    from repro.eval.harness import build_arch
+    return build_arch(key)
+
+
+def _make_mapper(args, arch):
+    from repro.mapping import (
+        PathFinderMapper, PlaidMapper, SimulatedAnnealingMapper,
+        GreedyRepairMapper,
+    )
+    mappers = {
+        "plaid": PlaidMapper,
+        "pathfinder": PathFinderMapper,
+        "sa": SimulatedAnnealingMapper,
+        "greedy": GreedyRepairMapper,
+    }
+    name = args.mapper or ("plaid" if arch.style == "plaid" else "pathfinder")
+    return mappers[name](seed=args.seed)
+
+
+def cmd_compile(args) -> int:
+    from repro.motifs import generate_motifs
+    from repro.ir.dot import dfg_to_dot
+
+    dfg = _load_dfg(args)
+    generation = generate_motifs(dfg, seed=args.seed)
+    if args.dot:
+        colors = ["lightblue", "lightgreen", "lightsalmon", "plum", "khaki"]
+        highlight = {
+            node_id: colors[index % len(colors)]
+            for index, motif in enumerate(generation.motifs)
+            for node_id in motif.nodes
+        }
+        print(dfg_to_dot(dfg, highlight=highlight))
+        return 0
+    print(dfg.summary())
+    print(f"motifs: {generation.kind_histogram()}")
+    print(f"standalone compute nodes: {len(generation.standalone)}")
+    print(f"3-node coverage: {generation.coverage:.0%}")
+    return 0
+
+
+def cmd_map(args) -> int:
+    from repro.mapping import SpatialMapper
+
+    dfg = _load_dfg(args)
+    arch = _build_arch(args.arch)
+    if arch.style == "spatial":
+        mapping = SpatialMapper(seed=args.seed).map(dfg, arch)
+        print(f"{dfg.name} on {arch.name}: {len(mapping.phases)} phases, "
+              f"II sum {mapping.ii_sum}, cycles {mapping.total_cycles()}")
+        return 0
+    mapping = _make_mapper(args, arch).map(dfg, arch)
+    print(mapping.summary())
+    print(f"mapper: {mapping.stats.mapper}, "
+          f"bypass edges: {mapping.stats.bypass_edges}, "
+          f"mapping time: {mapping.stats.seconds:.2f}s")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    from repro.ir.interpreter import DFGInterpreter
+    from repro.mapping import SpatialMapper
+    from repro.sim import CGRASimulator, SpatialSimulator
+
+    dfg = _load_dfg(args)
+    arch = _build_arch(args.arch)
+    memory = DFGInterpreter(dfg).prepare_memory(fill=args.fill)
+    if arch.style == "spatial":
+        mapping = SpatialMapper(seed=args.seed).map(dfg, arch)
+        mismatches = SpatialSimulator(mapping).run(
+            memory, iterations=args.iterations)
+        status = "VERIFIED" if not mismatches else f"MISMATCH {mismatches[:3]}"
+        print(f"{dfg.name} on {arch.name}: {status}")
+        return 0 if not mismatches else 1
+    mapping = _make_mapper(args, arch).map(dfg, arch)
+    report = CGRASimulator(mapping).run(memory, iterations=args.iterations)
+    print(f"{dfg.name} on {arch.name}: {report.summary()}")
+    return 0 if report.verified else 1
+
+
+def cmd_report(args) -> int:
+    from repro.eval import experiments
+    from repro.eval.landscape import landscape_table
+    from repro.eval.reporting import render_scorecard
+
+    if args.experiment == "table1":
+        print(landscape_table())
+        return 0
+    if args.experiment == "scorecard":
+        print(render_scorecard())
+        return 0
+    try:
+        func = getattr(experiments, args.experiment)
+    except AttributeError:
+        raise ReproError(
+            f"unknown experiment '{args.experiment}' (table2, fig2, fig12, "
+            "fig13, fig14, fig15, fig16, fig17, fig18, fig19, table1, "
+            "scorecard)"
+        ) from None
+    print(func().render())
+    return 0
+
+
+def cmd_workloads(_args) -> int:
+    from repro.utils.tables import format_table
+    from repro.workloads import all_workloads
+
+    rows = [[s.name, s.kernel, s.domain, s.unroll] for s in all_workloads()]
+    print(format_table(["name", "kernel", "domain", "unroll"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Plaid CGRA reproduction toolchain")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_dfg_args(p):
+        p.add_argument("--workload", help="registered workload name")
+        p.add_argument("--file", help="annotated-C kernel file")
+        p.add_argument("--shape", action="append", metavar="ARR=RxC",
+                       help="array shape, e.g. A=16x16 (repeatable)")
+        p.add_argument("--unroll", type=int, default=None)
+        p.add_argument("--seed", type=int, default=7)
+
+    p_compile = sub.add_parser("compile", help="kernel -> DFG + motifs")
+    add_dfg_args(p_compile)
+    p_compile.add_argument("--dot", action="store_true",
+                           help="emit Graphviz with motifs colored")
+    p_compile.set_defaults(func=cmd_compile)
+
+    p_map = sub.add_parser("map", help="map a DFG onto a fabric")
+    add_dfg_args(p_map)
+    p_map.add_argument("--arch", default="plaid",
+                       choices=["st", "spatial", "plaid", "plaid3x3",
+                                "st-ml", "plaid-ml"])
+    p_map.add_argument("--mapper",
+                       choices=["plaid", "pathfinder", "sa", "greedy"])
+    p_map.set_defaults(func=cmd_map)
+
+    p_sim = sub.add_parser("simulate", help="map + cycle-accurate verify")
+    add_dfg_args(p_sim)
+    p_sim.add_argument("--arch", default="plaid",
+                       choices=["st", "spatial", "plaid", "plaid3x3",
+                                "st-ml", "plaid-ml"])
+    p_sim.add_argument("--mapper",
+                       choices=["plaid", "pathfinder", "sa", "greedy"])
+    p_sim.add_argument("--iterations", type=int, default=8)
+    p_sim.add_argument("--fill", type=int, default=3)
+    p_sim.set_defaults(func=cmd_simulate)
+
+    p_report = sub.add_parser("report", help="print one experiment")
+    p_report.add_argument("experiment",
+                          help="table1|table2|fig2|fig12..fig19|scorecard")
+    p_report.set_defaults(func=cmd_report)
+
+    p_wl = sub.add_parser("workloads", help="list evaluated workloads")
+    p_wl.set_defaults(func=cmd_workloads)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":   # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""Evaluation harness: regenerates every table and figure of the paper.
+
+:mod:`repro.eval.harness` owns the cached map→simulate→power pipeline;
+:mod:`repro.eval.experiments` exposes one function per table/figure that
+returns structured results (and renders the same rows/series the paper
+reports); :mod:`repro.eval.landscape` reproduces the qualitative Table 1.
+"""
+
+from repro.eval.harness import (
+    ARCH_KEYS,
+    KernelResult,
+    build_arch,
+    evaluate_kernel,
+    clear_caches,
+)
+from repro.eval import experiments
+from repro.eval.landscape import landscape_table
+
+__all__ = [
+    "ARCH_KEYS",
+    "KernelResult",
+    "build_arch",
+    "clear_caches",
+    "evaluate_kernel",
+    "experiments",
+    "landscape_table",
+]

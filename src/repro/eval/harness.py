@@ -1,0 +1,162 @@
+"""The cached evaluation pipeline: workload x architecture x mapper.
+
+``evaluate_kernel(workload, arch_key, mapper_key)`` maps the workload,
+derives cycles over the full iteration space (performance is deterministic
+at compile time, as the paper notes), extracts activity statistics, and
+prices power/energy/area.  Results are memoized so every benchmark and
+experiment shares one evaluation per configuration.
+
+Baseline methodology follows the paper: the spatio-temporal baselines are
+mapped with both PathFinder and simulated annealing and the better result
+is kept ("We use two mappers for these baselines and select the one with
+higher performance").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.arch.base import Architecture
+from repro.arch.plaid import make_plaid
+from repro.arch.spatial import make_spatial
+from repro.arch.spatio_temporal import make_spatio_temporal
+from repro.arch.specialize import make_plaid_ml, make_st_ml
+from repro.errors import MappingError, ReproError
+from repro.mapping.annealing import SimulatedAnnealingMapper
+from repro.mapping.pathfinder import PathFinderMapper
+from repro.mapping.plaid_mapper import PlaidMapper
+from repro.mapping.spatial_mapper import SpatialMapper
+from repro.power.model import (
+    ActivityFactors, AreaReport, PowerReport, activity_from_mapping,
+    activity_from_spatial, fabric_area, fabric_power,
+)
+from repro.power.report import energy_nj, perf_per_area
+from repro.workloads.registry import get_dfg, get_workload
+
+#: Architecture keys the experiments use.
+ARCH_KEYS = ("st", "spatial", "plaid", "plaid3x3", "st-ml", "plaid-ml")
+
+
+@lru_cache(maxsize=None)
+def build_arch(key: str) -> Architecture:
+    """Architecture instance per key (cached: fabrics are immutable)."""
+    builders = {
+        "st": lambda: make_spatio_temporal(4, 4),
+        "st6x6": lambda: make_spatio_temporal(6, 6),
+        "spatial": lambda: make_spatial(4, 4),
+        "plaid": lambda: make_plaid(2, 2),
+        "plaid3x3": lambda: make_plaid(3, 3),
+        "st-ml": lambda: make_st_ml(4, 4),
+        "plaid-ml": lambda: make_plaid_ml(2, 2),
+    }
+    try:
+        return builders[key]()
+    except KeyError:
+        raise ReproError(f"unknown architecture key '{key}'") from None
+
+
+@dataclass(frozen=True)
+class KernelResult:
+    """One (workload, architecture, mapper) evaluation."""
+
+    workload: str
+    arch_key: str
+    mapper: str
+    ii: int                     # steady-state cycles per iteration point(s)
+    cycles: int                 # full iteration space
+    makespan: int
+    activity: ActivityFactors
+    power: PowerReport
+    area: AreaReport
+    energy: float               # nJ over the full run
+
+    @property
+    def perf_per_area(self) -> float:
+        return perf_per_area(self.cycles, self.area)
+
+
+def _seed_for(workload: str, arch_key: str, mapper_key: str) -> int:
+    return (hash((workload, arch_key, mapper_key)) & 0x7FFFFFFF) or 1
+
+
+def _map_temporal(dfg, arch, mapper_key: str, seed: int):
+    """Map on a time-extended fabric with the requested mapper."""
+    if mapper_key == "pathfinder":
+        return PathFinderMapper(seed=seed).map(dfg, arch)
+    if mapper_key == "sa":
+        return SimulatedAnnealingMapper(seed=seed).map(dfg, arch)
+    if mapper_key == "plaid":
+        return PlaidMapper(seed=seed).map(dfg, arch)
+    if mapper_key == "best":
+        best = None
+        for factory in (
+            lambda: PathFinderMapper(seed=seed).map(dfg, arch),
+            lambda: SimulatedAnnealingMapper(seed=seed).map(dfg, arch),
+        ):
+            try:
+                mapping = factory()
+            except MappingError:
+                continue
+            if best is None or mapping.total_cycles() < best.total_cycles():
+                best = mapping
+        if best is None:
+            raise MappingError(
+                f"no baseline mapper could map '{dfg.name}' on {arch.name}"
+            )
+        return best
+    raise ReproError(f"unknown mapper key '{mapper_key}'")
+
+
+def default_mapper(arch_key: str) -> str:
+    """The paper's methodology per architecture."""
+    if arch_key.startswith("plaid"):
+        return "plaid"
+    if arch_key == "spatial":
+        return "spatial"
+    return "best"
+
+
+@lru_cache(maxsize=None)
+def evaluate_kernel(workload: str, arch_key: str,
+                    mapper_key: str | None = None) -> KernelResult:
+    """Map + price one workload on one architecture (memoized)."""
+    spec = get_workload(workload)
+    dfg = get_dfg(workload)
+    arch = build_arch(arch_key)
+    mapper_key = mapper_key or default_mapper(arch_key)
+    seed = _seed_for(workload, arch_key, mapper_key)
+
+    if mapper_key == "spatial":
+        mapping = SpatialMapper(seed=seed).map(dfg, arch)
+        cycles = mapping.total_cycles()
+        ii = mapping.ii_sum
+        makespan = max((phase.depth for phase in mapping.phases), default=0)
+        activity = activity_from_spatial(mapping)
+    else:
+        mapping = _map_temporal(dfg, arch, mapper_key, seed)
+        cycles = mapping.total_cycles()
+        ii = mapping.ii
+        makespan = mapping.makespan
+        activity = activity_from_mapping(mapping)
+
+    power = fabric_power(arch, activity)
+    area = fabric_area(arch)
+    return KernelResult(
+        workload=workload,
+        arch_key=arch_key,
+        mapper=mapper_key,
+        ii=ii,
+        cycles=cycles,
+        makespan=makespan,
+        activity=activity,
+        power=power,
+        area=area,
+        energy=energy_nj(power, cycles),
+    )
+
+
+def clear_caches() -> None:
+    """Drop memoized evaluations (tests that tweak parameters use this)."""
+    evaluate_kernel.cache_clear()
+    build_arch.cache_clear()

@@ -1,0 +1,30 @@
+"""Table 1: the reconfigurable-architecture landscape (qualitative).
+
+Rendered from the modeled architecture families so the table stays
+consistent with what the library actually implements.
+"""
+
+from __future__ import annotations
+
+from repro.utils.tables import format_table
+
+_ROWS = [
+    ("Spatio-temporal", "UE-CGRA, HyCUBE, ADRES, MorphoSys",
+     "High", "Low", "High"),
+    ("Spatial", "SNAFU, Riptide",
+     "Medium or High", "High", "Medium"),
+    ("Specialized", "REVAMP, REVEL, VecPac, APEX",
+     "High or Ultra-High", "High", "Low"),
+    ("Plaid (this work)", "Plaid",
+     "High", "High", "High"),
+]
+
+
+def landscape_table() -> str:
+    """Render Table 1."""
+    return format_table(
+        ["CGRA class", "examples", "performance", "energy efficiency",
+         "generality"],
+        _ROWS,
+        title="Table 1: reconfigurable architecture landscape",
+    )

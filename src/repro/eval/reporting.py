@@ -1,0 +1,111 @@
+"""Report aggregation: turn experiment results into shareable artifacts.
+
+The benchmarks print paper-style tables; this module adds machine-readable
+summaries (dicts), Markdown export for EXPERIMENTS.md-style records, and
+the headline-claims scorecard comparing this reproduction to the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.eval import experiments
+from repro.utils.tables import format_table
+
+#: The paper's headline numbers, used by :func:`scorecard`.
+PAPER_CLAIMS = {
+    "plaid_vs_st_performance": 1.0,       # Fig. 12 average
+    "spatial_vs_st_performance": 1.40,    # Fig. 12 average
+    "plaid_vs_st_power": 0.57,            # Fig. 2
+    "plaid_vs_st_area": 0.54,             # Section 7
+    "plaid_vs_st_energy": 0.58,           # Fig. 14 (42% reduction)
+    "scaling_3x3_speedup": 1.71,          # Fig. 17
+    "plaid_mapper_vs_pathfinder": 1.25,   # Fig. 18
+    "plaid_mapper_vs_sa": 1.28,           # Fig. 18
+    "st_ml_energy_vs_plaid": 1.22,        # Fig. 19 (18% reduction inverse)
+    "plaid_ml_energy_vs_plaid": 0.91,     # Fig. 19
+}
+
+
+@dataclass(frozen=True)
+class ClaimResult:
+    """One headline claim: the paper's value and ours."""
+
+    claim: str
+    paper: float
+    measured: float
+
+    @property
+    def ratio(self) -> float:
+        if self.paper == 0:
+            return float("inf")
+        return self.measured / self.paper
+
+    @property
+    def within_25_percent(self) -> bool:
+        return 0.75 <= self.ratio <= 1.33
+
+
+def measure_claims() -> dict[str, float]:
+    """Compute every headline number from the cached experiment results."""
+    fig12 = experiments.fig12()
+    _one, spatial_perf, plaid_perf = fig12.averages()
+    fig2 = experiments.fig2()
+    fig13 = experiments.fig13()
+    fig14 = experiments.fig14()
+    _o, _sp, plaid_energy = fig14.averages()
+    fig17 = experiments.fig17()
+    fig18 = experiments.fig18()
+    pf_avg, sa_avg = fig18.averages()
+    fig19 = experiments.fig19()
+    return {
+        "plaid_vs_st_performance": plaid_perf,
+        "spatial_vs_st_performance": spatial_perf,
+        "plaid_vs_st_power": fig2.power_ratio,
+        "plaid_vs_st_area": fig13.st_ratio,
+        "plaid_vs_st_energy": plaid_energy,
+        "scaling_3x3_speedup": fig17.average_speedup(),
+        "plaid_mapper_vs_pathfinder": pf_avg,
+        "plaid_mapper_vs_sa": sa_avg,
+        "st_ml_energy_vs_plaid": fig19.energy["st-ml"],
+        "plaid_ml_energy_vs_plaid": fig19.energy["plaid-ml"],
+    }
+
+
+def scorecard() -> list[ClaimResult]:
+    """Paper-vs-measured for every headline claim."""
+    measured = measure_claims()
+    return [
+        ClaimResult(claim=name, paper=paper, measured=measured[name])
+        for name, paper in PAPER_CLAIMS.items()
+    ]
+
+
+def render_scorecard(results: list[ClaimResult] | None = None) -> str:
+    """The reproduction scorecard as a text table."""
+    results = results if results is not None else scorecard()
+    rows = [
+        [r.claim, r.paper, r.measured, r.ratio,
+         "yes" if r.within_25_percent else "NO"]
+        for r in results
+    ]
+    return format_table(
+        ["claim", "paper", "measured", "measured/paper", "within 25%"],
+        rows,
+        title="Reproduction scorecard",
+    )
+
+
+def to_markdown_table(headers: list[str], rows: list[list[object]]) -> str:
+    """Render rows as a GitHub-flavoured Markdown table."""
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    lines = ["| " + " | ".join(headers) + " |",
+             "|" + "|".join("---" for _ in headers) + "|"]
+    lines.extend(
+        "| " + " | ".join(fmt(cell) for cell in row) + " |" for row in rows
+    )
+    return "\n".join(lines)

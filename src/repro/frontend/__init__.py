@@ -1,0 +1,16 @@
+"""Annotated-C frontend.
+
+The paper's toolchain takes loops annotated with ``#pragma plaid`` in C and
+produces dataflow graphs.  This package implements that path for a restricted
+C subset: perfectly nested ``for`` loops with affine array subscripts,
+16-bit integer expressions over ``+ - * << >> & | ^ ~``, scalar temporaries,
+and ``+=`` reductions.  Lowering performs innermost-loop unrolling, common
+subexpression elimination, reduction recognition (loop-carried recurrence
+edges), and memory-carried dependence detection for in-place stencils.
+"""
+
+from repro.frontend.lexer import Token, tokenize
+from repro.frontend.parser import parse_kernel
+from repro.frontend.lower import compile_kernel
+
+__all__ = ["Token", "tokenize", "parse_kernel", "compile_kernel"]

@@ -1,0 +1,89 @@
+"""Abstract syntax tree for the annotated-C kernel subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class IntLit:
+    """Integer literal."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class VarRef:
+    """Reference to a loop variable or scalar temporary."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class ArrayRef:
+    """``name[idx0][idx1]...`` — each index is an expression that lowering
+    requires to be affine in loop variables."""
+
+    name: str
+    indices: tuple[object, ...]
+
+
+@dataclass(frozen=True)
+class UnaryOp:
+    """``-x`` or ``~x``."""
+
+    op: str
+    operand: object
+
+
+@dataclass(frozen=True)
+class BinOp:
+    """Binary expression; ``op`` in ``+ - * << >> & | ^``."""
+
+    op: str
+    left: object
+    right: object
+
+
+@dataclass(frozen=True)
+class Call:
+    """Intrinsic call: ``min(a, b)``, ``max(a, b)``, ``abs(a)``."""
+
+    func: str
+    args: tuple[object, ...]
+
+
+@dataclass(frozen=True)
+class Assign:
+    """``target = expr;`` or ``target += expr;`` (target array or scalar)."""
+
+    target: object          # ArrayRef | VarRef
+    op: str                 # '=' or '+='
+    expr: object
+    line: int = 0
+
+
+@dataclass
+class ForLoop:
+    """``for (v = 0; v < bound; v++) { body }`` (step 1, lower bound 0)."""
+
+    var: str
+    bound: int
+    body: list[object] = field(default_factory=list)   # ForLoop | Assign
+
+
+@dataclass
+class Kernel:
+    """A parsed kernel: pragma options plus the outermost loop nest."""
+
+    name: str
+    unroll: int
+    loops: list[ForLoop]
+
+    def innermost(self) -> ForLoop:
+        """The innermost loop of the (perfect) nest."""
+        loop = self.loops[0]
+        while loop.body and isinstance(loop.body[0], ForLoop) \
+                and len(loop.body) == 1:
+            loop = loop.body[0]
+        return loop

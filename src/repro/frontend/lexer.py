@@ -1,0 +1,90 @@
+"""Tokenizer for the annotated-C kernel subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import FrontendError
+
+KEYWORDS = {"for", "int", "pragma", "plaid", "unroll", "min", "max", "abs"}
+
+_TWO_CHAR = {"<<", ">>", "+=", "++", "<=", "==", "!="}
+_ONE_CHAR = set("+-*/%&|^~()[]{};=<>,#")
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token with its source line (1-based) for error messages."""
+
+    kind: str   # 'int', 'ident', 'keyword', 'op'
+    text: str
+    line: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, line {self.line})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Split kernel source into tokens; raises on unknown characters."""
+    tokens: list[Token] = []
+    line = 1
+    index = 0
+    length = len(source)
+    while index < length:
+        char = source[index]
+        if char == "\n":
+            line += 1
+            index += 1
+            continue
+        if char in " \t\r":
+            index += 1
+            continue
+        if source.startswith("//", index):
+            end = source.find("\n", index)
+            index = length if end == -1 else end
+            continue
+        if source.startswith("/*", index):
+            end = source.find("*/", index)
+            if end == -1:
+                raise FrontendError(f"line {line}: unterminated comment")
+            line += source.count("\n", index, end)
+            index = end + 2
+            continue
+        if char.isdigit():
+            start = index
+            while index < length and (source[index].isdigit()
+                                      or source[index] in "xXabcdefABCDEF"):
+                index += 1
+            text = source[start:index]
+            tokens.append(Token("int", text, line))
+            continue
+        if char.isalpha() or char == "_":
+            start = index
+            while index < length and (source[index].isalnum()
+                                      or source[index] == "_"):
+                index += 1
+            text = source[start:index]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line))
+            continue
+        two = source[index:index + 2]
+        if two in _TWO_CHAR:
+            tokens.append(Token("op", two, line))
+            index += 2
+            continue
+        if char in _ONE_CHAR:
+            tokens.append(Token("op", char, line))
+            index += 1
+            continue
+        raise FrontendError(f"line {line}: unexpected character {char!r}")
+    return tokens
+
+
+def parse_int(token: Token) -> int:
+    """Integer literal value (decimal or 0x hex)."""
+    try:
+        return int(token.text, 0)
+    except ValueError:
+        raise FrontendError(
+            f"line {token.line}: bad integer literal {token.text!r}"
+        ) from None

@@ -1,0 +1,218 @@
+"""Recursive-descent parser for the annotated-C kernel subset.
+
+Accepted shape (whitespace and comments free-form):
+
+    #pragma plaid unroll(2)
+    for (i = 0; i < 16; i++) {
+      for (j = 0; j < 16; j++) {
+        t = A[i][j] * x[j];
+        y[i] += t;
+      }
+    }
+
+Loops run from 0 with step 1 (``int i = 0`` also accepted).  Statements are
+assignments to array elements or scalar temporaries with ``=`` or ``+=``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FrontendError
+from repro.frontend.cast import (
+    ArrayRef, Assign, BinOp, Call, ForLoop, IntLit, Kernel, UnaryOp, VarRef,
+)
+from repro.frontend.lexer import Token, parse_int, tokenize
+
+# Binary operators by descending precedence tier.
+_PRECEDENCE: tuple[tuple[str, ...], ...] = (
+    ("|",),
+    ("^",),
+    ("&",),
+    ("<<", ">>"),
+    ("+", "-"),
+    ("*",),
+)
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing -------------------------------------------------
+    def _peek(self, offset: int = 0) -> Token | None:
+        index = self._pos + offset
+        return self._tokens[index] if index < len(self._tokens) else None
+
+    def _advance(self) -> Token:
+        token = self._peek()
+        if token is None:
+            raise FrontendError("unexpected end of kernel source")
+        self._pos += 1
+        return token
+
+    def _expect(self, text: str) -> Token:
+        token = self._advance()
+        if token.text != text:
+            raise FrontendError(
+                f"line {token.line}: expected {text!r}, found {token.text!r}"
+            )
+        return token
+
+    def _match(self, text: str) -> bool:
+        token = self._peek()
+        if token is not None and token.text == text:
+            self._pos += 1
+            return True
+        return False
+
+    # -- grammar --------------------------------------------------------
+    def parse_kernel(self, name: str) -> Kernel:
+        unroll = self._parse_pragmas()
+        loops = []
+        while self._peek() is not None and self._peek().text == "for":
+            loops.append(self._parse_for())
+        if not loops:
+            raise FrontendError("kernel has no for loop")
+        if self._peek() is not None:
+            token = self._peek()
+            raise FrontendError(
+                f"line {token.line}: trailing tokens after loop nest"
+            )
+        return Kernel(name=name, unroll=unroll, loops=loops)
+
+    def _parse_pragmas(self) -> int:
+        unroll = 1
+        while self._match("#"):
+            self._expect("pragma")
+            self._expect("plaid")
+            if self._match("unroll"):
+                self._expect("(")
+                unroll = parse_int(self._advance())
+                self._expect(")")
+                if unroll < 1:
+                    raise FrontendError("unroll factor must be >= 1")
+        return unroll
+
+    def _parse_for(self) -> ForLoop:
+        self._expect("for")
+        self._expect("(")
+        self._match("int")
+        var_token = self._advance()
+        if var_token.kind != "ident":
+            raise FrontendError(
+                f"line {var_token.line}: expected loop variable"
+            )
+        var = var_token.text
+        self._expect("=")
+        start = parse_int(self._advance())
+        if start != 0:
+            raise FrontendError(
+                f"line {var_token.line}: loops must start at 0"
+            )
+        self._expect(";")
+        again = self._advance()
+        if again.text != var:
+            raise FrontendError(
+                f"line {again.line}: condition must test {var!r}"
+            )
+        self._expect("<")
+        bound = parse_int(self._advance())
+        self._expect(";")
+        step = self._advance()
+        if step.text != var:
+            raise FrontendError(f"line {step.line}: increment must be {var}++")
+        self._expect("++")
+        self._expect(")")
+        self._expect("{")
+        body: list[object] = []
+        while not self._match("}"):
+            token = self._peek()
+            if token is None:
+                raise FrontendError("unterminated loop body")
+            if token.text == "for":
+                body.append(self._parse_for())
+            else:
+                body.append(self._parse_statement())
+        return ForLoop(var=var, bound=bound, body=body)
+
+    def _parse_statement(self) -> Assign:
+        self._match("int")
+        target_token = self._advance()
+        if target_token.kind != "ident":
+            raise FrontendError(
+                f"line {target_token.line}: expected assignment target"
+            )
+        target: object = VarRef(target_token.text)
+        indices: list[object] = []
+        while self._match("["):
+            indices.append(self._parse_expr())
+            self._expect("]")
+        if indices:
+            target = ArrayRef(target_token.text, tuple(indices))
+        op_token = self._advance()
+        if op_token.text not in ("=", "+="):
+            raise FrontendError(
+                f"line {op_token.line}: expected '=' or '+=', "
+                f"found {op_token.text!r}"
+            )
+        expr = self._parse_expr()
+        self._expect(";")
+        return Assign(target=target, op=op_token.text, expr=expr,
+                      line=op_token.line)
+
+    def _parse_expr(self, tier: int = 0) -> object:
+        if tier == len(_PRECEDENCE):
+            return self._parse_unary()
+        ops = _PRECEDENCE[tier]
+        left = self._parse_expr(tier + 1)
+        while True:
+            token = self._peek()
+            if token is None or token.text not in ops:
+                return left
+            self._advance()
+            right = self._parse_expr(tier + 1)
+            left = BinOp(token.text, left, right)
+
+    def _parse_unary(self) -> object:
+        token = self._peek()
+        if token is not None and token.text in ("-", "~"):
+            self._advance()
+            return UnaryOp(token.text, self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> object:
+        token = self._advance()
+        if token.kind == "int":
+            return IntLit(parse_int(token))
+        if token.text == "(":
+            expr = self._parse_expr()
+            self._expect(")")
+            return expr
+        if token.text in ("min", "max", "abs"):
+            self._expect("(")
+            args = [self._parse_expr()]
+            while self._match(","):
+                args.append(self._parse_expr())
+            self._expect(")")
+            expected = 1 if token.text == "abs" else 2
+            if len(args) != expected:
+                raise FrontendError(
+                    f"line {token.line}: {token.text} takes {expected} args"
+                )
+            return Call(token.text, tuple(args))
+        if token.kind == "ident":
+            indices: list[object] = []
+            while self._match("["):
+                indices.append(self._parse_expr())
+                self._expect("]")
+            if indices:
+                return ArrayRef(token.text, tuple(indices))
+            return VarRef(token.text)
+        raise FrontendError(
+            f"line {token.line}: unexpected token {token.text!r} in expression"
+        )
+
+
+def parse_kernel(source: str, name: str = "kernel") -> Kernel:
+    """Parse annotated-C kernel source into a :class:`Kernel` AST."""
+    return _Parser(tokenize(source)).parse_kernel(name)

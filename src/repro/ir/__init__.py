@@ -1,0 +1,39 @@
+"""Dataflow-graph intermediate representation.
+
+The IR is the substrate shared by the frontend, the motif subsystem, the
+mappers, and the simulator.  A :class:`~repro.ir.graph.DFG` is a DAG of
+:class:`~repro.ir.node.DFGNode` objects whose edges carry an operand index
+and an inter-iteration *distance* (0 for intra-iteration dependencies).
+"""
+
+from repro.ir.ops import Opcode, OP_LATENCY, is_compute_op, is_memory_op
+from repro.ir.node import AffineAccess, DFGNode
+from repro.ir.graph import DFG, DFGEdge
+from repro.ir.builder import DFGBuilder
+from repro.ir.analysis import (
+    asap_schedule,
+    alap_schedule,
+    critical_path_length,
+    recurrence_mii,
+    topological_order,
+)
+from repro.ir.interpreter import DFGInterpreter, MemoryImage
+
+__all__ = [
+    "AffineAccess",
+    "DFG",
+    "DFGBuilder",
+    "DFGEdge",
+    "DFGInterpreter",
+    "DFGNode",
+    "MemoryImage",
+    "OP_LATENCY",
+    "Opcode",
+    "alap_schedule",
+    "asap_schedule",
+    "critical_path_length",
+    "is_compute_op",
+    "is_memory_op",
+    "recurrence_mii",
+    "topological_order",
+]

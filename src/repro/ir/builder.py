@@ -1,0 +1,90 @@
+"""Fluent construction helper for DFGs.
+
+The frontend lowers parsed kernels through this builder; tests and examples
+also use it directly to assemble small graphs:
+
+    builder = DFGBuilder("axpy", trip_counts=(64,))
+    x = builder.load("x", coeffs=(1,))
+    y = builder.load("y", coeffs=(1,))
+    ax = builder.op(Opcode.MUL, x, const=3)
+    s = builder.op(Opcode.ADD, ax, y)
+    builder.store("y", s, coeffs=(1,))
+    dfg = builder.build()
+"""
+
+from __future__ import annotations
+
+from repro.errors import DFGError
+from repro.ir.graph import DFG
+from repro.ir.node import AffineAccess, DFGNode
+from repro.ir.ops import OP_ARITY, Opcode
+
+
+class DFGBuilder:
+    """Incrementally build a validated :class:`DFG`."""
+
+    def __init__(self, name: str = "dfg",
+                 trip_counts: tuple[int, ...] = (1,)) -> None:
+        self._dfg = DFG(name, loop_dims=len(trip_counts),
+                        trip_counts=trip_counts)
+        self._built = False
+
+    @property
+    def dfg(self) -> DFG:
+        """The graph under construction (also returned by :meth:`build`)."""
+        return self._dfg
+
+    def op(self, opcode: Opcode, *operands: DFGNode, const: int | None = None,
+           name: str = "", distances: tuple[int, ...] | None = None) -> DFGNode:
+        """Add a compute node fed by ``operands`` in operand-slot order.
+
+        ``distances`` optionally gives the inter-iteration distance of each
+        incoming edge (defaults to all zero).
+        """
+        self._check_open()
+        node = self._dfg.add_node(opcode, name=name, const=const)
+        dists = distances or (0,) * len(operands)
+        if len(dists) != len(operands):
+            raise DFGError("distances length must match operand count")
+        for slot, (operand, distance) in enumerate(zip(operands, dists)):
+            self._dfg.add_edge(operand, node, operand_index=slot,
+                               distance=distance)
+        # Remaining operand slots may be filled later (e.g. a recurrence
+        # edge closing an accumulator); build() validates completeness.
+        return node
+
+    def load(self, array: str, base: int = 0,
+             coeffs: tuple[int, ...] = (), name: str = "") -> DFGNode:
+        """Add a LOAD node with an affine access descriptor."""
+        self._check_open()
+        access = AffineAccess(array, base=base, coeffs=coeffs)
+        return self._dfg.add_node(Opcode.LOAD, name=name, access=access)
+
+    def store(self, array: str, value: DFGNode, base: int = 0,
+              coeffs: tuple[int, ...] = (), name: str = "",
+              distance: int = 0) -> DFGNode:
+        """Add a STORE node writing ``value`` through an affine access."""
+        self._check_open()
+        access = AffineAccess(array, base=base, coeffs=coeffs)
+        node = self._dfg.add_node(Opcode.STORE, name=name, access=access)
+        self._dfg.add_edge(value, node, operand_index=0, distance=distance)
+        return node
+
+    def recurrence(self, src: DFGNode, dst: DFGNode, operand_index: int,
+                   distance: int = 1) -> None:
+        """Add a loop-carried edge (``distance >= 1``)."""
+        self._check_open()
+        if distance < 1:
+            raise DFGError("recurrence edges need distance >= 1")
+        self._dfg.add_edge(src, dst, operand_index=operand_index,
+                           distance=distance)
+
+    def build(self) -> DFG:
+        """Validate and return the finished graph."""
+        self._dfg.validate()
+        self._built = True
+        return self._dfg
+
+    def _check_open(self) -> None:
+        if self._built:
+            raise DFGError("builder already finished; create a new one")

@@ -1,0 +1,36 @@
+"""Graphviz (dot) export of DFGs and hierarchical DFGs, for inspection."""
+
+from __future__ import annotations
+
+from repro.ir.graph import DFG
+
+
+def dfg_to_dot(dfg: DFG, highlight: dict[int, str] | None = None) -> str:
+    """Render a DFG as a ``dot`` digraph string.
+
+    ``highlight`` maps node ids to fill colors (the motif explorer example
+    colors each motif differently).
+    """
+    highlight = highlight or {}
+    lines = [f'digraph "{dfg.name}" {{', "  rankdir=TB;",
+             '  node [shape=box, fontname="monospace"];']
+    for node in dfg.nodes:
+        label = f"{node.name}\\n{node.op.name}"
+        if node.access is not None:
+            label += f"\\n{node.access.describe()}"
+        if node.const is not None:
+            label += f"\\nconst={node.const}"
+        style = ""
+        color = highlight.get(node.node_id)
+        if color:
+            style = f', style=filled, fillcolor="{color}"'
+        lines.append(f'  n{node.node_id} [label="{label}"{style}];')
+    for edge in dfg.edges:
+        attrs = []
+        if edge.distance > 0:
+            attrs.append(f'label="d={edge.distance}"')
+            attrs.append("style=dashed")
+        attr_text = f" [{', '.join(attrs)}]" if attrs else ""
+        lines.append(f"  n{edge.src} -> n{edge.dst}{attr_text};")
+    lines.append("}")
+    return "\n".join(lines)

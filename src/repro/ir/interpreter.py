@@ -1,0 +1,198 @@
+"""Reference interpreter: the golden model the simulator is checked against.
+
+The interpreter executes a DFG over its whole iteration space with exact
+16-bit semantics.  Values crossing iterations (``distance > 0`` edges) are
+read from the producing node's value ``distance`` iterations ago; before the
+first producing iteration they read as the consumer's initialization value
+(0 unless a node annotation says otherwise), matching how the statically
+scheduled fabric primes its registers.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.errors import SimulationError
+from repro.ir.analysis import topological_order
+from repro.ir.graph import DFG
+from repro.ir.ops import OP_ARITY, Opcode, evaluate, to_unsigned
+
+
+class MemoryImage:
+    """A named collection of 16-bit word arrays (models SPM contents)."""
+
+    def __init__(self, arrays: dict[str, list[int]] | None = None) -> None:
+        self._arrays: dict[str, list[int]] = {}
+        for name, values in (arrays or {}).items():
+            self._arrays[name] = [to_unsigned(value) for value in values]
+
+    def ensure(self, name: str, size: int) -> None:
+        """Create ``name`` zero-filled (or grow it) to at least ``size``."""
+        current = self._arrays.setdefault(name, [])
+        if len(current) < size:
+            current.extend([0] * (size - len(current)))
+
+    def read(self, name: str, offset: int) -> int:
+        try:
+            array = self._arrays[name]
+        except KeyError:
+            raise SimulationError(f"read from unknown array '{name}'") from None
+        if not 0 <= offset < len(array):
+            raise SimulationError(
+                f"read '{name}'[{offset}] out of bounds (size {len(array)})"
+            )
+        return array[offset]
+
+    def write(self, name: str, offset: int, value: int) -> None:
+        try:
+            array = self._arrays[name]
+        except KeyError:
+            raise SimulationError(f"write to unknown array '{name}'") from None
+        if not 0 <= offset < len(array):
+            raise SimulationError(
+                f"write '{name}'[{offset}] out of bounds (size {len(array)})"
+            )
+        array[offset] = to_unsigned(value)
+
+    def array(self, name: str) -> list[int]:
+        """A copy of one array's contents."""
+        return list(self._arrays[name])
+
+    @property
+    def names(self) -> list[str]:
+        return sorted(self._arrays)
+
+    def copy(self) -> "MemoryImage":
+        return MemoryImage({name: list(vals) for name, vals in self._arrays.items()})
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MemoryImage):
+            return NotImplemented
+        return self._arrays == other._arrays
+
+
+def required_array_sizes(dfg: DFG) -> dict[str, int]:
+    """Max element offset + 1 touched per array over the iteration space.
+
+    Walks the corner points of the iteration space per access (affine
+    accesses reach their extrema at corners), so it is exact and cheap.
+    """
+    sizes: dict[str, int] = defaultdict(int)
+    for node in dfg.memory_nodes:
+        access = node.access
+        assert access is not None
+        max_offset = access.base
+        for dim, coeff in enumerate(access.coeffs):
+            extent = dfg.trip_counts[dim] - 1 if dim < len(dfg.trip_counts) else 0
+            if coeff > 0:
+                max_offset += coeff * extent
+        sizes[access.array] = max(sizes[access.array], max_offset + 1)
+    return dict(sizes)
+
+
+class DFGInterpreter:
+    """Execute a DFG over its iteration space against a memory image."""
+
+    def __init__(self, dfg: DFG) -> None:
+        self.dfg = dfg
+        self._order = topological_order(dfg)
+
+    def prepare_memory(self, memory: MemoryImage | None = None,
+                       fill: int | None = None) -> MemoryImage:
+        """Size every array the DFG touches; optionally pattern-fill reads.
+
+        With ``fill`` given, arrays that are read get deterministic nonzero
+        contents ``(fill + 7 * index) mod 2^16`` so simulator mismatches
+        cannot hide behind zeros.
+        """
+        memory = memory or MemoryImage()
+        sizes = required_array_sizes(self.dfg)
+        for name, size in sizes.items():
+            memory.ensure(name, size)
+        if fill is not None:
+            for name in self.dfg.arrays_read():
+                array = memory.array(name)
+                memory.ensure(name, len(array))
+                for index in range(len(array)):
+                    if array[index] == 0:
+                        memory.write(name, index,
+                                     to_unsigned(fill + 7 * index))
+        return memory
+
+    def run(self, memory: MemoryImage, iterations: int | None = None,
+            ) -> dict[int, list[int]]:
+        """Execute ``iterations`` points (default: all); mutates ``memory``.
+
+        Returns the per-node value history: ``history[node_id][k]`` is the
+        value node produced in iteration ``k`` (STORE nodes record the value
+        they wrote).
+        """
+        total = self.dfg.iterations if iterations is None else iterations
+        history: dict[int, list[int]] = {
+            node.node_id: [] for node in self.dfg.nodes
+        }
+        for k in range(total):
+            indices = self.dfg.iteration_indices(k)
+            values: dict[int, int] = {}
+            for node_id in self._order:
+                node = self.dfg.node(node_id)
+                operands = self._gather_operands(node_id, k, values, history)
+                if node.op is Opcode.LOAD:
+                    assert node.access is not None
+                    result = memory.read(node.access.array,
+                                         node.access.address(indices))
+                elif node.op is Opcode.STORE:
+                    assert node.access is not None
+                    value = operands.get(0)
+                    if value is None and node.const is not None:
+                        value = to_unsigned(node.const)
+                    if value is None:
+                        raise SimulationError(
+                            f"store '{node.name}' has no value in iter {k}"
+                        )
+                    memory.write(node.access.array,
+                                 node.access.address(indices), value)
+                    result = value
+                else:
+                    result = self._execute_compute(node, operands)
+                values[node_id] = result
+                history[node_id].append(result)
+        return history
+
+    def _gather_operands(self, node_id: int, iteration: int,
+                         values: dict[int, int],
+                         history: dict[int, list[int]]) -> dict[int, int]:
+        operands: dict[int, int] = {}
+        for edge in self.dfg.in_edges(node_id):
+            if edge.is_ordering:
+                continue
+            if edge.distance == 0:
+                operands[edge.operand_index] = values[edge.src]
+            else:
+                source_iter = iteration - edge.distance
+                if source_iter >= 0:
+                    operands[edge.operand_index] = history[edge.src][source_iter]
+                else:
+                    init = self.dfg.node(node_id).annotations.get("init", 0)
+                    operands[edge.operand_index] = to_unsigned(int(init))
+        return operands
+
+    def _execute_compute(self, node, operands: dict[int, int]) -> int:
+        """Build the full argument list; the instruction's constant fills
+        the (single) unfed operand slot, whichever side it is on."""
+        arity = OP_ARITY[node.op]
+        args: list[int] = []
+        const_used = False
+        for slot in range(arity):
+            if slot in operands:
+                args.append(operands[slot])
+            elif node.const is not None and not const_used:
+                args.append(to_unsigned(node.const))
+                const_used = True
+            elif node.op is Opcode.SEL and slot == 2:
+                args.append(1)  # unpredicated select takes the first input
+            else:
+                raise SimulationError(
+                    f"'{node.name}' missing operand {slot}"
+                )
+        return evaluate(node.op, args)

@@ -1,0 +1,39 @@
+"""Mappers: modulo-scheduled placement and routing of DFGs onto CGRAs.
+
+Three mappers target the time-extended fabrics (spatio-temporal and Plaid):
+
+* :class:`~repro.mapping.pathfinder.PathFinderMapper` — negotiated
+  congestion routing (McMurchie–Ebeling), adapted for CGRAs as in Morpher;
+* :class:`~repro.mapping.annealing.SimulatedAnnealingMapper` — joint
+  placement/routing annealing (CGRA-ME style);
+* :class:`~repro.mapping.plaid_mapper.PlaidMapper` — the paper's
+  Algorithm 2: hierarchical, motif-aware mapping with flexible schedule
+  templates.
+
+The spatial CGRA uses :class:`~repro.mapping.spatial_mapper.SpatialMapper`,
+which partitions the DFG into fixed-configuration phases with SPM spills.
+"""
+
+from repro.mapping.mii import minimum_ii, resource_mii
+from repro.mapping.base import Mapping, MappingStats
+from repro.mapping.router import route_edge, min_transport_latency
+from repro.mapping.pathfinder import PathFinderMapper
+from repro.mapping.annealing import SimulatedAnnealingMapper
+from repro.mapping.greedy import GreedyRepairMapper
+from repro.mapping.plaid_mapper import PlaidMapper
+from repro.mapping.spatial_mapper import SpatialMapper, SpatialMapping
+
+__all__ = [
+    "GreedyRepairMapper",
+    "Mapping",
+    "MappingStats",
+    "PathFinderMapper",
+    "PlaidMapper",
+    "SimulatedAnnealingMapper",
+    "SpatialMapper",
+    "SpatialMapping",
+    "min_transport_latency",
+    "minimum_ii",
+    "resource_mii",
+    "route_edge",
+]

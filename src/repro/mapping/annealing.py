@@ -1,0 +1,206 @@
+"""Simulated-annealing mapper (CGRA-ME style; baseline #2 of Figure 18).
+
+The classic joint placement-and-routing annealer the paper compares
+against: each move relocates one node to a random compatible (FU, cycle)
+candidate and reroutes its incident edges; the Metropolis criterion
+occasionally accepts worse states.  It has no greedy candidate ranking and
+no motif awareness — exactly the generic baseline of the paper (adapted
+from CGRA-ME / Morpher).  The library's stronger search engine lives in
+:mod:`repro.mapping.greedy`.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from repro.arch.base import Architecture
+from repro.arch.mrrg import MRRG
+from repro.errors import MappingError
+from repro.ir.graph import DFG
+from repro.mapping.base import Mapping, MappingStats
+from repro.mapping.common import (
+    edge_indices_by_node, initial_placement, mapping_cost,
+    schedule_horizon, timing_feasible,
+)
+from repro.mapping.mii import minimum_ii
+from repro.mapping.router import route_edge
+from repro.utils.rng import make_rng
+
+
+class SimulatedAnnealingMapper:
+    """Metropolis placement/routing search over the MRRG."""
+
+    name = "sa"
+
+    def __init__(self, moves_per_ii: int = 2500, start_temp: float = 10.0,
+                 cooling: float = 0.997, max_ii: int | None = None,
+                 seed: int | None = None) -> None:
+        self.moves_per_ii = moves_per_ii
+        self.start_temp = start_temp
+        self.cooling = cooling
+        self.max_ii = max_ii
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def map(self, dfg: DFG, arch: Architecture) -> Mapping:
+        """Map ``dfg`` onto ``arch``; raises :class:`MappingError` when no
+        II up to the config-memory limit admits a mapping."""
+        start_time = time.perf_counter()
+        rng = make_rng(self.seed)
+        mii = minimum_ii(dfg, arch)
+        ii_limit = self.max_ii or arch.config_entries
+        attempts = 0
+        for ii in range(mii, ii_limit + 1):
+            attempts += 1
+            result = self._anneal(dfg, arch, ii, rng)
+            if result is not None:
+                result.stats = MappingStats(
+                    mapper=self.name,
+                    attempts=attempts,
+                    routed_edges=len(result.routes),
+                    bypass_edges=sum(
+                        1 for r in result.routes.values() if r.bypass),
+                    transport_steps=sum(
+                        len(r.steps) for r in result.routes.values()),
+                    seconds=time.perf_counter() - start_time,
+                )
+                return result
+        raise MappingError(
+            f"SA could not map '{dfg.name}' on {arch.name} "
+            f"within II <= {ii_limit}"
+        )
+
+    # ------------------------------------------------------------------
+    def _anneal(self, dfg: DFG, arch: Architecture, ii: int,
+                rng) -> Mapping | None:
+        placement = None
+        for lateness in (0, 1, 2, 3):
+            mrrg = MRRG(arch, ii)
+            placement = initial_placement(dfg, arch, mrrg, rng,
+                                          circuit_lateness=lateness)
+            if placement is not None:
+                break
+        if placement is None:
+            return None
+        routes, failures = [], []
+        routes, failures = route_all(dfg, mrrg, placement)
+        unrouted = set(failures)
+        incident = edge_indices_by_node(dfg)
+        horizon = schedule_horizon(dfg, ii)
+        node_ids = [node.node_id for node in dfg.nodes]
+
+        cost = mapping_cost(mrrg, routes, len(unrouted))
+        temperature = self.start_temp
+        for _move in range(self.moves_per_ii):
+            if not unrouted and not mrrg.overuse():
+                break
+            node_id = rng.choice(node_ids)
+            candidate = self._candidate(dfg, arch, mrrg, placement,
+                                        node_id, horizon, rng)
+            if candidate is None:
+                temperature *= self.cooling
+                continue
+            saved = self._displace(dfg, mrrg, placement, routes, unrouted,
+                                   incident, node_id, candidate)
+            new_cost = mapping_cost(mrrg, routes, len(unrouted))
+            delta = new_cost - cost
+            if delta <= 0 or rng.random() < math.exp(
+                    -delta / max(temperature, 1e-6)):
+                cost = new_cost
+            else:
+                self._restore(dfg, mrrg, placement, routes, unrouted,
+                              incident, node_id, saved)
+            temperature *= self.cooling
+
+        if unrouted or mrrg.overuse():
+            return None
+        mapping = Mapping(dfg=dfg, arch=arch, ii=ii,
+                          placement=dict(placement), routes=dict(routes))
+        mapping.validate()
+        return mapping
+
+    # ------------------------------------------------------------------
+    def _candidate(self, dfg, arch, mrrg, placement, node_id, horizon, rng
+                   ) -> tuple[int, int] | None:
+        """Random compatible (fu, cycle) different from the current spot."""
+        node = dfg.node(node_id)
+        fus = [fu for fu in arch.fus if fu.supports(node.op)]
+        current = placement[node_id]
+        others = {k: v for k, v in placement.items() if k != node_id}
+        for _try in range(12):
+            fu = rng.choice(fus)
+            cycle = rng.randrange(horizon)
+            if (fu.fu_id, cycle) == current:
+                continue
+            occupant = mrrg.node_at(fu.fu_id, cycle)
+            if occupant is not None and occupant != node_id:
+                continue
+            if not timing_feasible(dfg, arch, mrrg.ii, others,
+                                   node_id, fu.fu_id, cycle):
+                continue
+            return (fu.fu_id, cycle)
+        return None
+
+    def _displace(self, dfg, mrrg, placement, routes, unrouted, incident,
+                  node_id, candidate):
+        """Move a node and reroute its incident edges; returns undo state."""
+        old_spot = placement[node_id]
+        old_routes = {
+            index: routes.get(index) for index in incident[node_id]
+        }
+        old_unrouted = {
+            index for index in incident[node_id] if index in unrouted
+        }
+        for index in incident[node_id]:
+            route = routes.pop(index, None)
+            if route is not None:
+                mrrg.uncommit_route(route)
+            unrouted.discard(index)
+        mrrg.unplace_node(node_id, old_spot[0], old_spot[1])
+        mrrg.place_node(node_id, candidate[0], candidate[1])
+        placement[node_id] = candidate
+        self._reroute_incident(dfg, mrrg, placement, routes, unrouted,
+                               incident, node_id)
+        return (old_spot, old_routes, old_unrouted)
+
+    def _restore(self, dfg, mrrg, placement, routes, unrouted, incident,
+                 node_id, saved):
+        old_spot, old_routes, old_unrouted = saved
+        for index in incident[node_id]:
+            route = routes.pop(index, None)
+            if route is not None:
+                mrrg.uncommit_route(route)
+            unrouted.discard(index)
+        current = placement[node_id]
+        mrrg.unplace_node(node_id, current[0], current[1])
+        mrrg.place_node(node_id, old_spot[0], old_spot[1])
+        placement[node_id] = old_spot
+        for index, route in old_routes.items():
+            if route is not None:
+                routes[index] = route
+                mrrg.commit_route(route)
+        unrouted.update(old_unrouted)
+
+    def _reroute_incident(self, dfg, mrrg, placement, routes, unrouted,
+                          incident, node_id):
+        edges = dfg.edges
+        for index in incident[node_id]:
+            edge = edges[index]
+            if edge.is_ordering:
+                continue
+            src_fu, src_cycle = placement[edge.src]
+            dst_fu, dst_cycle = placement[edge.dst]
+            arrival = dst_cycle + edge.distance * mrrg.ii
+            route = route_edge(mrrg, edge.src, src_fu, src_cycle,
+                               dst_fu, arrival)
+            if route is None:
+                unrouted.add(index)
+            else:
+                routes[index] = route
+
+
+def route_all(dfg, mrrg, placement):
+    """Route every data edge of a full placement (shared helper)."""
+    from repro.mapping.common import route_all_edges
+    return route_all_edges(dfg, mrrg, placement)

@@ -1,0 +1,48 @@
+"""Minimum initiation interval: ResMII and RecMII (Section 5.1).
+
+MII = max(ResMII, RecMII).  ResMII accounts for every op-class bottleneck:
+total nodes vs. total FUs, memory nodes vs. memory-capable FUs, and each
+opcode vs. the FUs supporting it (relevant for pruned ST-ML fabrics).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+from repro.arch.base import Architecture
+from repro.errors import MappingError
+from repro.ir.analysis import recurrence_mii
+from repro.ir.graph import DFG
+
+
+def resource_mii(dfg: DFG, arch: Architecture) -> int:
+    """Resource-constrained minimum II of ``dfg`` on ``arch``."""
+    total_fus = len(arch.fus)
+    if total_fus == 0:
+        raise MappingError(f"{arch.name} has no functional units")
+    bounds = [math.ceil(dfg.num_nodes / total_fus)]
+    mem_nodes = len(dfg.memory_nodes)
+    if mem_nodes:
+        mem_fus = len(arch.memory_fus)
+        if mem_fus == 0:
+            raise MappingError(
+                f"{arch.name} cannot execute memory ops ({dfg.name})"
+            )
+        bounds.append(math.ceil(mem_nodes / mem_fus))
+    op_counts = Counter(node.op for node in dfg.nodes)
+    for op, count in op_counts.items():
+        capable = len(arch.fus_supporting(op))
+        if capable == 0:
+            raise MappingError(
+                f"{arch.name} has no FU supporting {op.name} "
+                f"(needed by '{dfg.name}')"
+            )
+        bounds.append(math.ceil(count / capable))
+    return max(bounds)
+
+
+def minimum_ii(dfg: DFG, arch: Architecture) -> int:
+    """MII = max(ResMII, RecMII)."""
+    return max(resource_mii(dfg, arch),
+               recurrence_mii(dfg, max_ii=arch.config_entries))

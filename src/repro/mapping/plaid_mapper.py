@@ -1,0 +1,664 @@
+"""The Plaid mapper: hierarchical motif-aware mapping (Algorithm 2).
+
+The mapper operates on the hierarchical DFG: whole motifs are placed onto
+PCUs using flexible schedule templates (Section 5.2), singleton nodes onto
+individual FUs.  The flow follows the paper:
+
+1. motifs are sorted by data dependency (critical groups first);
+2. each is greedily placed on the candidate with the least routing cost;
+3. if the mapping is not valid, a simulated-annealing loop repeatedly
+   unmaps one group, picks a random placement candidate, evaluates every
+   schedule template with Dijkstra-routed operands, and keeps the best —
+   occasionally accepting a worse state to escape local minima;
+4. the II is incremented when the time budget runs out.
+
+On Plaid-ML fabrics (hardwired motif PCUs) collective groups may only land
+on PCUs hardwired for their kind — pattern edges there are free wires —
+while general PCUs accept anything.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from repro.arch.base import Architecture
+from repro.arch.mrrg import MRRG, Route
+from repro.arch.specialize import hardwired_motif_kinds
+from repro.errors import MappingError
+from repro.ir.graph import DFG
+from repro.mapping.base import Mapping, MappingStats
+from repro.mapping.common import mapping_cost, modulo_asap, schedule_horizon
+from repro.mapping.mii import minimum_ii
+from repro.mapping.router import min_transport_latency, route_edge
+from repro.motifs.hierarchy import HierarchicalDFG, build_hierarchy
+from repro.motifs.schedules import ScheduleTemplate, schedule_templates
+from repro.motifs.types import MotifKind
+from repro.utils.rng import make_rng
+
+#: FUs per PCU (3 ALUs + ALSU); ALU slot s of PCU u is FU ``u*4 + s``.
+_FUS_PER_PCU = 4
+
+
+class PlaidMapper:
+    """Motif-aware hierarchical mapper for Plaid fabrics."""
+
+    name = "plaid"
+
+    def __init__(self, moves_per_ii: int = 600, start_temp: float = 6.0,
+                 cooling: float = 0.99, max_ii: int | None = None,
+                 seed: int | None = None,
+                 motif_seed: int | None = None) -> None:
+        self.moves_per_ii = moves_per_ii
+        self.start_temp = start_temp
+        self.cooling = cooling
+        self.max_ii = max_ii
+        self.seed = seed
+        self.motif_seed = motif_seed
+
+    # ------------------------------------------------------------------
+    def map(self, dfg: DFG, arch: Architecture,
+            hierarchy: HierarchicalDFG | None = None) -> Mapping:
+        """Map ``dfg`` (motif-decomposed) onto a Plaid fabric."""
+        if arch.style != "plaid":
+            raise MappingError(
+                f"PlaidMapper targets Plaid fabrics, not {arch.style}"
+            )
+        start_time = time.perf_counter()
+        rng = make_rng(self.seed)
+        hardwired = hardwired_motif_kinds(arch)
+        if hierarchy is not None:
+            hierarchies = [hierarchy]
+        else:
+            # Algorithm 1 is stochastic; a different decomposition often
+            # relieves structural congestion, so failures retry with fresh
+            # motif seeds before giving up.
+            base = self.motif_seed if self.motif_seed is not None else 11
+            hierarchies = [
+                build_hierarchy(dfg, seed=base + 12 * offset)
+                for offset in range(3)
+            ]
+        if hardwired is not None:
+            hierarchies = [
+                demote_for_hardwired(h, hardwired) for h in hierarchies
+            ]
+        mii = minimum_ii(dfg, arch)
+        ii_limit = self.max_ii or arch.config_entries
+        attempts = 0
+        for ii in range(mii, ii_limit + 1):
+            for candidate_hierarchy in hierarchies:
+                attempts += 1
+                state = _State(dfg, arch, candidate_hierarchy, ii,
+                               hardwired, rng)
+                mapping = self._solve(state)
+                if mapping is not None:
+                    mapping.stats = MappingStats(
+                        mapper=self.name,
+                        attempts=attempts,
+                        routed_edges=len(mapping.routes),
+                        bypass_edges=sum(
+                            1 for r in mapping.routes.values() if r.bypass),
+                        transport_steps=sum(
+                            len(r.steps) for r in mapping.routes.values()),
+                        seconds=time.perf_counter() - start_time,
+                    )
+                    return mapping
+        raise MappingError(
+            f"Plaid mapper could not map '{dfg.name}' on {arch.name} "
+            f"within II <= {ii_limit}"
+        )
+
+    # ------------------------------------------------------------------
+    def _solve(self, state: "_State") -> Mapping | None:
+        return solve_state(state, self.moves_per_ii, self.start_temp,
+                           self.cooling)
+
+
+def solve_state(state: "_State", moves: int, start_temp: float,
+                cooling: float) -> Mapping | None:
+    """Greedy placement plus annealing repair over a mapping state.
+
+    This is Algorithm 2's search loop; the generic SA baseline reuses it
+    over a singleton (motif-blind) hierarchy.
+    """
+    # Lines 1-4: dependency-sorted greedy placement.
+    for group in state.order:
+        if not state.place_group_best(group):
+            state.unplaced.add(group)
+    # Lines 5-11: annealing repair loop, with reheating ("like typical
+    # simulated annealing, we can occasionally accept a worse movement to
+    # overcome the local minimum").
+    temperature = start_temp
+    cost = state.cost()
+    best_cost = cost
+    stall = 0
+    for _move in range(moves):
+        if state.is_complete() and not state.mrrg.overuse():
+            break
+        group = state.pick_victim()
+        if group is None:
+            break
+        saved = state.unmap_group(group)
+        placed = state.place_group_random()
+        new_cost = state.cost()
+        delta = new_cost - cost
+        accept = placed and (
+            delta <= 0
+            or state.rng.random() < math.exp(
+                -delta / max(temperature, 1e-6))
+        )
+        if accept:
+            cost = new_cost
+        else:
+            state.restore_group(group, saved, placed)
+            cost = state.cost()
+        if cost < best_cost - 1e-9:
+            best_cost = cost
+            stall = 0
+        else:
+            stall += 1
+            if stall >= 150:
+                temperature = start_temp
+                stall = 0
+        temperature *= cooling
+    if not state.is_complete():
+        return None
+    if state.mrrg.overuse():
+        return None
+    mapping = Mapping(dfg=state.dfg, arch=state.arch, ii=state.ii,
+                      placement=dict(state.placement),
+                      routes=dict(state.routes))
+    mapping.validate()
+    return mapping
+
+
+def demote_for_hardwired(hierarchy: HierarchicalDFG,
+                         hardwired: dict[int, "MotifKind"]
+                         ) -> HierarchicalDFG:
+    """Adapt a hierarchy to a Plaid-ML fabric.
+
+    Hardwired PCUs have no local router, so only motifs matching some
+    PCU's hardwired pattern can execute collectively; two-node motifs and
+    unmatched three-node motifs are demoted to standalone nodes (which
+    still execute on any ALU over the fully reconfigurable global
+    datapath, per Section 4.4).
+    """
+    from repro.motifs.hierarchy import HierarchyEdge
+    from repro.motifs.types import Motif
+
+    available_kinds = set(hardwired.values())
+    groups: list[Motif] = []
+    for motif in hierarchy.groups:
+        if motif.is_collective and motif.kind not in available_kinds:
+            groups.extend(
+                Motif(MotifKind.SINGLETON, (node_id,))
+                for node_id in motif.nodes
+            )
+        else:
+            groups.append(motif)
+    node_to_group: dict[int, int] = {}
+    for index, motif in enumerate(groups):
+        for node_id in motif.nodes:
+            node_to_group[node_id] = index
+    dfg = hierarchy.dfg
+    inter_edges = []
+    for edge in dfg.edges:
+        src_group = node_to_group[edge.src]
+        dst_group = node_to_group[edge.dst]
+        if edge.is_ordering or src_group != dst_group or edge.distance > 0:
+            inter_edges.append(HierarchyEdge(src_group, dst_group, edge))
+    demoted = HierarchicalDFG(dfg=dfg, groups=groups,
+                              node_to_group=node_to_group,
+                              inter_edges=inter_edges)
+    demoted.validate()
+    return demoted
+
+
+def singleton_hierarchy(dfg: DFG) -> HierarchicalDFG:
+    """A motif-blind hierarchy: every node is its own group.
+
+    Generic mappers use this view — they see the same fabric but cannot
+    exploit collective motif placement, which is exactly the comparison of
+    the paper's Figure 18.
+    """
+    from repro.motifs.hierarchy import HierarchyEdge
+    from repro.motifs.types import Motif
+
+    groups = [Motif(MotifKind.SINGLETON, (node.node_id,))
+              for node in dfg.nodes]
+    node_to_group = {
+        node.node_id: index for index, node in enumerate(dfg.nodes)
+    }
+    inter_edges = [
+        HierarchyEdge(node_to_group[edge.src], node_to_group[edge.dst], edge)
+        for edge in dfg.edges
+    ]
+    hierarchy = HierarchicalDFG(dfg=dfg, groups=groups,
+                                node_to_group=node_to_group,
+                                inter_edges=inter_edges)
+    hierarchy.validate()
+    return hierarchy
+
+
+class _State:
+    """Mutable mapping state for one II attempt."""
+
+    def __init__(self, dfg: DFG, arch: Architecture,
+                 hierarchy: HierarchicalDFG, ii: int,
+                 hardwired: dict[int, MotifKind] | None, rng) -> None:
+        self.dfg = dfg
+        self.arch = arch
+        self.hierarchy = hierarchy
+        self.ii = ii
+        self.hardwired = hardwired
+        self.rng = rng
+        self.mrrg = MRRG(arch, ii)
+        self.placement: dict[int, tuple[int, int]] = {}
+        self.routes: dict[int, Route] = {}
+        self.unrouted: set[int] = set()
+        self.unplaced: set[int] = set()
+        self.group_of_edge: dict[int, tuple[int, int]] = {}
+        self.order = hierarchy.dependency_order()
+        self.horizon = schedule_horizon(dfg, ii)
+        asap = modulo_asap(dfg, ii)
+        self.asap = asap if asap is not None else {
+            node.node_id: 0 for node in dfg.nodes
+        }
+        self.num_pcus = arch.rows * arch.cols
+        self._edge_list = dfg.edges
+        self._incident_groups: dict[int, list[int]] = {
+            g: [] for g in range(len(hierarchy.groups))
+        }
+        for index, edge in enumerate(self._edge_list):
+            sg = hierarchy.group_of(edge.src)
+            dg = hierarchy.group_of(edge.dst)
+            self.group_of_edge[index] = (sg, dg)
+            self._incident_groups[sg].append(index)
+            if dg != sg:
+                self._incident_groups[dg].append(index)
+        #: group -> list of (node_id, fu_id, cycle) commitments.
+        self.group_spots: dict[int, list[tuple[int, int, int]]] = {}
+        self._last_failed: int | None = None
+
+    # ------------------------------------------------------------------
+    # Candidate enumeration
+    # ------------------------------------------------------------------
+    def _alu_fu(self, pcu: int, slot: int) -> int:
+        return pcu * _FUS_PER_PCU + slot
+
+    def _alsu_fu(self, pcu: int) -> int:
+        return pcu * _FUS_PER_PCU + 3
+
+    def _pcus_for_kind(self, kind: MotifKind) -> list[int]:
+        if self.hardwired is None:
+            return list(range(self.num_pcus))
+        if kind in (MotifKind.FAN_IN, MotifKind.FAN_OUT, MotifKind.UNICAST):
+            matching = [p for p, k in self.hardwired.items() if k is kind]
+            return matching or list(range(self.num_pcus))
+        return list(range(self.num_pcus))
+
+    def _singleton_candidates(self, group: int):
+        node = self.dfg.node(self.hierarchy.groups[group].nodes[0])
+        fus = [fu.fu_id for fu in self.arch.fus if fu.supports(node.op)]
+        self.rng.shuffle(fus)
+        return fus
+
+    # ------------------------------------------------------------------
+    # Group placement
+    # ------------------------------------------------------------------
+    def place_group_best(self, group: int) -> bool:
+        """Greedy (Algorithm 2 lines 3-4): rank candidates by a cheap
+        routing estimate, then commit the best candidate that actually
+        routes; candidates are (PCU, template, start) for motifs and
+        (FU, cycle) for singletons."""
+        motif = self.hierarchy.groups[group]
+        candidates = []
+        if motif.is_collective:
+            templates = schedule_templates(motif.kind)[:8]
+            for pcu in self._pcus_for_kind(motif.kind):
+                earliest = max(self._earliest_start(group, pcu),
+                               self._group_asap(group))
+                window = min(self.ii, 4)
+                for template in templates:
+                    for start in range(earliest,
+                                       min(earliest + window, self.horizon)):
+                        spots = self._collective_spots(group, pcu, template,
+                                                       start)
+                        if spots is None:
+                            continue
+                        estimate = self._estimate(group, spots)
+                        if estimate == float("inf"):
+                            continue
+                        candidates.append((estimate + 0.05 * start, spots))
+        else:
+            for fu_id in self._singleton_candidates(group):
+                earliest = max(self._earliest_start_fu(group, fu_id),
+                               self._group_asap(group))
+                found = 0
+                for cycle in range(earliest,
+                                   min(earliest + 2 * self.ii, self.horizon)):
+                    spots = self._singleton_spots(group, fu_id, cycle)
+                    if spots is None:
+                        continue
+                    estimate = self._estimate(group, spots)
+                    if estimate == float("inf"):
+                        continue
+                    candidates.append((estimate + 0.05 * cycle, spots))
+                    found += 1
+                    if found >= 3:
+                        break
+        candidates.sort(key=lambda c: c[0])
+        return self._commit_best(group, [c[1] for c in candidates[:6]])
+
+    def place_group_random(self) -> bool:
+        """Lines 7-11: random placement candidate for the unmapped victim,
+        evaluating every schedule template and keeping the best."""
+        if self._last_failed is None:
+            return False
+        group = self._last_failed
+        motif = self.hierarchy.groups[group]
+        if not motif.is_collective:
+            return self.place_group_best(group)
+        pcus = self._pcus_for_kind(motif.kind)
+        pcu = self.rng.choice(pcus)              # line 7: random candidate
+        earliest = max(self._earliest_start(group, pcu),
+                       self._group_asap(group))
+        span = max(1, min(2 * self.ii, self.horizon - earliest))
+        start0 = earliest + self.rng.randrange(span)
+        candidates = []
+        for template in schedule_templates(motif.kind):   # line 9
+            for start in (start0, start0 + 1, earliest):
+                spots = self._collective_spots(group, pcu, template, start)
+                if spots is None:
+                    continue
+                estimate = self._estimate(group, spots)
+                if estimate != float("inf"):
+                    candidates.append((estimate, spots))
+        candidates.sort(key=lambda c: c[0])
+        return self._commit_best(group,
+                                 [c[1] for c in candidates[:4]])   # line 11
+
+    def _commit_best(self, group: int, spot_lists) -> bool:
+        """Trial-route each candidate (with rollback), then commit the one
+        with the lowest full cost — congestion included, so repair moves
+        actually relieve overused wires."""
+        best_spots = None
+        best_total = float("inf")
+        for spots in spot_lists:
+            total = self._commit_spots(group, spots, keep=False)
+            if total is not None and total < best_total:
+                best_total = total
+                best_spots = spots
+        if best_spots is None:
+            return False
+        return self._commit_spots(group, best_spots, keep=True) is not None
+
+    # ------------------------------------------------------------------
+    def _group_asap(self, group: int) -> int:
+        return max(
+            (self.asap.get(nid, 0)
+             for nid in self.hierarchy.groups[group].nodes),
+            default=0,
+        )
+
+    def _collective_spots(self, group, pcu, template, start):
+        motif = self.hierarchy.groups[group]
+        spots = []
+        for role, node_id in enumerate(motif.nodes):
+            fu_id = self._alu_fu(pcu, template.slots[role])
+            cycle = start + template.offsets[role]
+            if cycle >= self.horizon or start < 0:
+                return None
+            if not self.mrrg.fu_free(fu_id, cycle):
+                return None
+            spots.append((node_id, fu_id, cycle))
+        return spots
+
+    def _singleton_spots(self, group, fu_id, cycle):
+        node_id = self.hierarchy.groups[group].nodes[0]
+        if cycle >= self.horizon or cycle < 0 \
+                or not self.mrrg.fu_free(fu_id, cycle):
+            return None
+        return [(node_id, fu_id, cycle)]
+
+    def _estimate(self, group: int, spots) -> float | None:
+        """Routing-free candidate score: transport slack and wire length
+        to already-placed neighbours; infinity when timing-infeasible."""
+        trial = {node_id: (fu, cyc) for node_id, fu, cyc in spots}
+        score = 0.0
+        for index in self._incident_groups[group]:
+            edge = self._edge_list[index]
+            src = trial.get(edge.src) or self.placement.get(edge.src)
+            dst = trial.get(edge.dst) or self.placement.get(edge.dst)
+            if src is None or dst is None:
+                continue
+            src_fu, src_cycle = src
+            dst_fu, dst_cycle = dst
+            arrival = dst_cycle + edge.distance * self.ii
+            if edge.is_ordering:
+                if arrival < src_cycle + 1:
+                    return float("inf")
+                continue
+            lat = min_transport_latency(self.arch, src_fu, dst_fu)
+            span = arrival - src_cycle
+            if span < lat:
+                return float("inf")
+            # Prefer short wires and tight schedules.
+            score += 2.0 * lat + 0.5 * (span - lat)
+        return score
+
+    # ------------------------------------------------------------------
+    def _earliest_start(self, group: int, pcu: int) -> int:
+        """Earliest start cycle given placed predecessors of the group."""
+        earliest = 0
+        for node_id in self.hierarchy.groups[group].nodes:
+            for edge in self.dfg.in_edges(node_id):
+                if edge.src in self.placement \
+                        and self.hierarchy.group_of(edge.src) != group:
+                    src_fu, src_cycle = self.placement[edge.src]
+                    lat = 1 if edge.is_ordering else min_transport_latency(
+                        self.arch, src_fu, self._alu_fu(pcu, 0))
+                    earliest = max(
+                        earliest,
+                        src_cycle + lat - edge.distance * self.ii)
+        return max(0, earliest)
+
+    def _earliest_start_fu(self, group: int, fu_id: int) -> int:
+        earliest = 0
+        node_id = self.hierarchy.groups[group].nodes[0]
+        for edge in self.dfg.in_edges(node_id):
+            if edge.src in self.placement and edge.src != node_id:
+                src_fu, src_cycle = self.placement[edge.src]
+                lat = 1 if edge.is_ordering else min_transport_latency(
+                    self.arch, src_fu, fu_id)
+                earliest = max(
+                    earliest, src_cycle + lat - edge.distance * self.ii)
+        return max(0, earliest)
+
+    # ------------------------------------------------------------------
+    # Committing (place + route or roll back)
+    # ------------------------------------------------------------------
+    def _commit_spots(self, group: int, spots, keep: bool = True
+                      ) -> float | None:
+        """Place nodes, route ready edges, score; roll back unless keep."""
+        for node_id, fu_id, cycle in spots:
+            self.placement[node_id] = (fu_id, cycle)
+            self.mrrg.place_node(node_id, fu_id, cycle)
+        new_routes: dict[int, Route] = {}
+        failed = 0
+        for index in self._incident_groups[group]:
+            edge = self._edge_list[index]
+            if edge.is_ordering:
+                if not self._ordering_ok(edge):
+                    failed += 1
+                continue
+            if edge.src not in self.placement \
+                    or edge.dst not in self.placement:
+                continue
+            route = self._route_index(index)
+            if route is None:
+                failed += 1
+            else:
+                new_routes[index] = route
+        if failed == 0:
+            self._negotiate(new_routes)
+        cost = sum(len(route.steps) for route in new_routes.values())
+        over = sum(u - c for _r, _s, u, c in self.mrrg.overuse())
+        total = 1000.0 * failed + 100.0 * over + cost
+        if keep and failed == 0:
+            self.group_spots[group] = list(spots)
+            self.routes.update(new_routes)
+            self.unplaced.discard(group)
+            return total
+        # Roll back.
+        for route in new_routes.values():
+            self.mrrg.uncommit_route(route)
+        for node_id, fu_id, cycle in spots:
+            self.mrrg.unplace_node(node_id, fu_id, cycle)
+            del self.placement[node_id]
+        if keep:
+            return None    # keep requested but edges failed
+        return total if failed == 0 else None
+
+    def _route_index(self, index: int) -> Route | None:
+        edge = self._edge_list[index]
+        src_fu, src_cycle = self.placement[edge.src]
+        dst_fu, dst_cycle = self.placement[edge.dst]
+        arrival = dst_cycle + edge.distance * self.ii
+        return route_edge(self.mrrg, edge.src, src_fu, src_cycle,
+                          dst_fu, arrival)
+
+    def _negotiate(self, new_routes: dict[int, Route],
+                   rounds: int = 2) -> None:
+        """Mini rip-up-and-reroute: slack-rich routes committed early can
+        squat on wires that later, tighter routes have no alternative to.
+        Every committed route touching an overused slot — whichever group
+        it belongs to — is rerouted against the now-visible congestion."""
+        for _round in range(rounds):
+            violations = self.mrrg.overuse()
+            if not violations:
+                return
+            hot = {(res, slot) for res, slot, _u, _c in violations}
+            candidates = list(new_routes.items()) + [
+                (index, route) for index, route in self.routes.items()
+                if index not in new_routes
+            ]
+            for index, route in candidates:
+                if not any((s.resource, self.mrrg.slot(s.cycle)) in hot
+                           for s in route.steps):
+                    continue
+                self.mrrg.uncommit_route(route)
+                redone = self._route_index(index)
+                if redone is None:
+                    self.mrrg.commit_route(route)
+                    continue
+                if index in new_routes or index not in self.routes:
+                    new_routes[index] = redone
+                else:
+                    self.routes[index] = redone
+
+    def _ordering_ok(self, edge) -> bool:
+        if edge.src not in self.placement or edge.dst not in self.placement:
+            return True
+        _sf, src_cycle = self.placement[edge.src]
+        _df, dst_cycle = self.placement[edge.dst]
+        return dst_cycle + edge.distance * self.ii >= src_cycle + 1
+
+    # ------------------------------------------------------------------
+    # Annealing moves
+    # ------------------------------------------------------------------
+    def pick_victim(self) -> int | None:
+        if self.unplaced:
+            # First re-place anything missing; but unmapping a placed
+            # neighbour sometimes frees the needed spot.
+            if self.rng.random() < 0.7:
+                victim = self.rng.choice(sorted(self.unplaced))
+                self._last_failed = victim
+                return victim
+        placed_groups = [g for g in self.group_spots]
+        if not placed_groups:
+            return None
+        # Prefer groups whose routes sit on overused resource slots: they
+        # are the ones a re-placement can actually relieve.
+        congested = self._congested_groups()
+        if congested and self.rng.random() < 0.75:
+            victim = self.rng.choice(congested)
+        else:
+            victim = self.rng.choice(placed_groups)
+        self._last_failed = victim
+        return victim
+
+    def _congested_groups(self) -> list[int]:
+        hot = {
+            (resource, slot)
+            for resource, slot, _u, _c in self.mrrg.overuse()
+        }
+        if not hot:
+            return []
+        groups: set[int] = set()
+        for index, route in self.routes.items():
+            if any((step.resource, self.mrrg.slot(step.cycle)) in hot
+                   for step in route.steps):
+                src_group, dst_group = self.group_of_edge[index]
+                if src_group in self.group_spots:
+                    groups.add(src_group)
+                if dst_group in self.group_spots:
+                    groups.add(dst_group)
+        return sorted(groups)
+
+    def unmap_group(self, group: int):
+        """Remove a group's nodes and every route touching them."""
+        saved_spots = self.group_spots.pop(group, [])
+        saved_routes: dict[int, Route] = {}
+        for index in self._incident_groups[group]:
+            route = self.routes.pop(index, None)
+            if route is not None:
+                saved_routes[index] = route
+                self.mrrg.uncommit_route(route)
+        for node_id, fu_id, cycle in saved_spots:
+            self.mrrg.unplace_node(node_id, fu_id, cycle)
+            self.placement.pop(node_id, None)
+        self.unplaced.add(group)
+        self._last_failed = group
+        return (saved_spots, saved_routes)
+
+    def restore_group(self, group: int, saved, newly_placed: bool) -> None:
+        """Undo an annealing move: put the group back where it was."""
+        if newly_placed:
+            self.unmap_group(group)
+        saved_spots, saved_routes = saved
+        if not saved_spots:
+            return
+        ok = all(self.mrrg.fu_free(fu, cyc) for _n, fu, cyc in saved_spots)
+        if not ok:
+            return    # stays unplaced; annealing continues
+        for node_id, fu_id, cycle in saved_spots:
+            self.placement[node_id] = (fu_id, cycle)
+            self.mrrg.place_node(node_id, fu_id, cycle)
+        for index, route in saved_routes.items():
+            edge = self._edge_list[index]
+            if edge.src in self.placement and edge.dst in self.placement:
+                self.routes[index] = route
+                self.mrrg.commit_route(route)
+        self.group_spots[group] = saved_spots
+        self.unplaced.discard(group)
+
+    # ------------------------------------------------------------------
+    def is_complete(self) -> bool:
+        if self.unplaced:
+            return False
+        for index, edge in enumerate(self._edge_list):
+            if edge.is_ordering:
+                if not self._ordering_ok(edge):
+                    return False
+            elif index not in self.routes:
+                return False
+        return True
+
+    def cost(self) -> float:
+        missing = sum(
+            1 for index, edge in enumerate(self._edge_list)
+            if not edge.is_ordering and index not in self.routes
+        )
+        return mapping_cost(self.mrrg, self.routes, missing) \
+            + 500.0 * len(self.unplaced)

@@ -1,0 +1,168 @@
+"""Time-expanded Dijkstra routing over the MRRG (Algorithm 2, line 10).
+
+A route carries one producer's value from its execution cycle to one
+consumer's execution cycle through places (register sites) and moves
+(wires), charging MRRG resources along the way.  Costs are congestion-aware
+via :meth:`MRRG.step_cost`; segments already charged by the same net are
+free, which makes fanout nets share wires naturally.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.arch.base import Architecture
+from repro.arch.mrrg import MRRG, Route, RouteStep
+from repro.arch.topology import manhattan
+
+#: Routing gives up beyond this many cycles of transport.
+MAX_TRANSPORT_CYCLES = 64
+
+
+def min_transport_latency(arch: Architecture, src_fu: int,
+                          dst_fu: int) -> int:
+    """Smallest producer-to-consumer latency the fabric allows.
+
+    Spatio-temporal mesh: 1 cycle for the same or an adjacent tile, one
+    more per extra hop.  Plaid: 1 cycle within a PCU, 1 + PCU hops across
+    PCUs (the extra cycle is the local-to-global staging hop).
+    """
+    src_tile = arch.fu(src_fu).tile
+    dst_tile = arch.fu(dst_fu).tile
+    hops = manhattan(src_tile, dst_tile, arch.cols)
+    if arch.style == "plaid":
+        return 1 if hops == 0 else 1 + hops
+    return max(1, hops)
+
+
+def route_edge(mrrg: MRRG, net: int, src_fu: int, depart_cycle: int,
+               dst_fu: int, arrive_cycle: int,
+               history: dict | None = None,
+               commit: bool = True) -> Route | None:
+    """Route a value produced at (src_fu, depart_cycle) to be consumed at
+    (dst_fu, arrive_cycle); returns None when no path exists.
+
+    ``arrive_cycle`` is in absolute time: inter-iteration edges pass
+    ``consumer_cycle + distance * II``.  With ``commit`` the route's
+    charges are applied to the MRRG immediately.
+    """
+    arch = mrrg.arch
+    span = arrive_cycle - depart_cycle
+    if span < 1 or span > MAX_TRANSPORT_CYCLES:
+        return None
+
+    # Free bypass path (Plaid motif compute unit, producer -> right ALU).
+    if (src_fu, dst_fu) in arch.bypass_pairs and span == 1:
+        route = Route(net=net, steps=(), src_fu=src_fu, dst_fu=dst_fu,
+                      depart_cycle=depart_cycle, arrive_cycle=arrive_cycle,
+                      bypass=True)
+        if commit:
+            mrrg.commit_route(route)
+        return route
+
+    start_place = arch.produce_place[src_fu]
+    goals = arch.consume_places[dst_fu]
+    start_cycle = depart_cycle + 1
+
+    # Dijkstra over (place, cycle).
+    start_cost = mrrg.step_cost(net, ("place", start_place), start_cycle,
+                                history)
+    frontier: list[tuple[float, int, int]] = [
+        (start_cost, start_place, start_cycle)
+    ]
+    best: dict[tuple[int, int], float] = {(start_place, start_cycle): start_cost}
+    parents: dict[tuple[int, int], tuple[int, int, RouteStep | None]] = {}
+
+    # The consume-side wire charge differs per goal place (a congested
+    # remote read can cost far more than landing locally), so goals are
+    # compared on cost *including* their read charge.
+    goal_state: tuple[int, int] | None = None
+    goal_cost = float("inf")
+    while frontier:
+        cost, place, cycle = heapq.heappop(frontier)
+        if cost >= goal_cost:
+            break          # no remaining state can beat the best goal
+        if cost > best.get((place, cycle), float("inf")):
+            continue
+        if cycle == arrive_cycle:
+            if place in goals:
+                read = goals[place]
+                read_cost = 0.0 if read is None else mrrg.step_cost(
+                    net, ("res", read), arrive_cycle, history)
+                if cost + read_cost < goal_cost:
+                    goal_cost = cost + read_cost
+                    goal_state = (place, cycle)
+            continue
+        # Hold in place for a cycle.
+        _push(mrrg, net, history, best, frontier, parents,
+              place, cycle, place, cycle + 1, cost, None)
+        # Moves to connected places.
+        for move in arch.moves_from(place):
+            move_step = RouteStep("move", ("res", move.resource), cycle)
+            _push(mrrg, net, history, best, frontier, parents,
+                  place, cycle, move.dst, cycle + 1, cost, move_step)
+
+    if goal_state is None:
+        return None
+
+    # Reconstruct occupancy/move steps.
+    steps: list[RouteStep] = []
+    places: list[tuple[int, int]] = []
+    state = goal_state
+    while True:
+        place, cycle = state
+        steps.append(RouteStep("occupy", ("place", place), cycle))
+        places.append((place, cycle))
+        parent = parents.get(state)
+        if parent is None:
+            break
+        prev_place, prev_cycle, move_step = parent
+        if move_step is not None:
+            steps.append(move_step)
+        state = (prev_place, prev_cycle)
+    steps.reverse()
+    places.reverse()
+
+    # Consume-side wire charge.
+    read_resource = goals[goal_state[0]]
+    if read_resource is not None:
+        steps.append(RouteStep("read", ("res", read_resource), arrive_cycle))
+
+    route = Route(
+        net=net,
+        steps=tuple(steps),
+        src_fu=src_fu,
+        dst_fu=dst_fu,
+        depart_cycle=depart_cycle,
+        arrive_cycle=arrive_cycle,
+        places=tuple(places),
+    )
+    if commit:
+        mrrg.commit_route(route)
+    return route
+
+
+def _push(mrrg: MRRG, net: int, history, best, frontier, parents,
+          place: int, cycle: int, next_place: int, next_cycle: int,
+          cost: float, move_step: RouteStep | None) -> bool:
+    """Relax one Dijkstra transition; returns True when it improved."""
+    if move_step is not None:
+        move_cost = mrrg.step_cost(net, move_step.resource, move_step.cycle,
+                                   history)
+    else:
+        move_cost = 0.0
+    occupy_cost = mrrg.step_cost(net, ("place", next_place), next_cycle,
+                                 history)
+    new_cost = cost + move_cost + occupy_cost
+    key = (next_place, next_cycle)
+    if new_cost < best.get(key, float("inf")):
+        best[key] = new_cost
+        parents[key] = (place, cycle, move_step)
+        heapq.heappush(frontier, (new_cost, next_place, next_cycle))
+        return True
+    return False
+
+
+def route_cost(route: Route) -> float:
+    """Resource units a committed route consumes (for objectives)."""
+    return float(len(route.steps))

@@ -1,0 +1,28 @@
+"""Structural motifs: the paper's core software abstraction.
+
+A *motif* is a small sub-DFG with a simple internal communication pattern
+(Section 3): three-node **fan-in**, **fan-out**, and **unicast** motifs are
+the exhaustive basic building blocks for three-node DAGs; two-node pairs
+also execute on the motif compute unit, and leftover nodes are singletons.
+:func:`generate_motifs` implements the paper's Algorithm 1;
+:class:`HierarchicalDFG` is the mapper-facing decomposition.
+"""
+
+from repro.motifs.types import Motif, MotifKind
+from repro.motifs.patterns import find_motif_for_node, match_kind
+from repro.motifs.generation import MotifGenerationResult, generate_motifs
+from repro.motifs.hierarchy import HierarchicalDFG, build_hierarchy
+from repro.motifs.schedules import ScheduleTemplate, schedule_templates
+
+__all__ = [
+    "HierarchicalDFG",
+    "Motif",
+    "MotifGenerationResult",
+    "MotifKind",
+    "ScheduleTemplate",
+    "build_hierarchy",
+    "find_motif_for_node",
+    "generate_motifs",
+    "match_kind",
+    "schedule_templates",
+]

@@ -1,0 +1,178 @@
+"""Algorithm 1: motif generation.
+
+Greedy seeding followed by iterative "break one motif, re-grow from
+standalone nodes" refinement, exactly as the paper describes:
+
+    1  Generate the initial motifs greedily;
+    2  while the motif number increases do
+    3      Randomly break down one motif;
+    4      Randomly sort standalone nodes;
+    5      foreach standalone node do
+    6          if find a motif pattern with this node then
+    7              Generate the motif and update standalone nodes;
+
+The loop also stops when the number of motifs exceeds the number of
+standalone nodes (to keep both the motif compute unit and the ALSU busy).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.ir.analysis import topological_order
+from repro.ir.graph import DFG
+from repro.motifs.patterns import find_motif_for_node, find_pair_for_node
+from repro.motifs.types import Motif, MotifKind
+from repro.utils.rng import make_rng
+
+
+@dataclass
+class MotifGenerationResult:
+    """Outcome of Algorithm 1 on one DFG."""
+
+    dfg: DFG
+    motifs: list[Motif] = field(default_factory=list)
+    standalone: list[int] = field(default_factory=list)   # compute node ids
+    rounds: int = 0
+
+    @property
+    def covered_nodes(self) -> set[int]:
+        """Compute nodes inside three-node motifs."""
+        return {
+            node_id for motif in self.motifs if motif.size == 3
+            for node_id in motif.nodes
+        }
+
+    @property
+    def collective_nodes(self) -> set[int]:
+        """Compute nodes inside any collective motif (size >= 2)."""
+        return {
+            node_id for motif in self.motifs if motif.is_collective
+            for node_id in motif.nodes
+        }
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of compute nodes covered by three-node motifs."""
+        compute = len(self.dfg.compute_nodes)
+        if compute == 0:
+            return 0.0
+        return len(self.covered_nodes) / compute
+
+    def kind_histogram(self) -> dict[MotifKind, int]:
+        histogram: dict[MotifKind, int] = {}
+        for motif in self.motifs:
+            histogram[motif.kind] = histogram.get(motif.kind, 0) + 1
+        return histogram
+
+    def validate(self) -> None:
+        """Motifs are node-disjoint, well-patterned, and with the
+        standalone list they partition the compute nodes."""
+        seen: set[int] = set()
+        for motif in self.motifs:
+            motif.validate_against(self.dfg)
+            for node_id in motif.nodes:
+                if node_id in seen:
+                    raise AssertionError(f"node {node_id} in two motifs")
+                seen.add(node_id)
+        compute_ids = {node.node_id for node in self.dfg.compute_nodes}
+        if seen | set(self.standalone) != compute_ids:
+            raise AssertionError("motifs + standalone != compute nodes")
+        if seen & set(self.standalone):
+            raise AssertionError("standalone node also inside a motif")
+
+
+def _greedy_pass(dfg: DFG, available: set[int],
+                 order: list[int]) -> list[Motif]:
+    """Claim three-node motifs walking ``order``; mutates ``available``."""
+    found: list[Motif] = []
+    for node_id in order:
+        if node_id not in available:
+            continue
+        motif = find_motif_for_node(dfg, node_id, available)
+        if motif is not None:
+            found.append(motif)
+            available.difference_update(motif.nodes)
+    return found
+
+
+def generate_motifs(dfg: DFG, seed: int | random.Random | None = None,
+                    max_rounds: int = 40,
+                    make_pairs: bool = True) -> MotifGenerationResult:
+    """Run Algorithm 1 on ``dfg`` and return the best decomposition found.
+
+    Args:
+        dfg: the dataflow graph (only compute nodes participate).
+        seed: RNG seed (or generator) for the break/regenerate phase.
+        max_rounds: bound on refinement rounds without improvement.
+        make_pairs: also group leftover standalone nodes into two-node
+            motifs (the paper executes two-node motifs on the motif
+            compute unit as well).
+    """
+    rng = make_rng(seed)
+    compute_ids = [node.node_id for node in dfg.compute_nodes]
+    topo = [nid for nid in topological_order(dfg) if nid in set(compute_ids)]
+
+    # Line 1: greedy initial generation in topological order.
+    available = set(compute_ids)
+    motifs = _greedy_pass(dfg, available, topo)
+
+    best_motifs = list(motifs)
+    best_available = set(available)
+    rounds = 0
+    # Lines 2-7: iterative deconstruction and regeneration.
+    stall = 0
+    while stall < max_rounds:
+        rounds += 1
+        if not motifs:
+            break
+        working = list(motifs)
+        working_available = set(available)
+        # Line 3: randomly break down one motif.
+        victim = rng.randrange(len(working))
+        broken = working.pop(victim)
+        working_available.update(broken.nodes)
+        # Line 4: randomly sort standalone nodes.
+        standalone = list(working_available)
+        rng.shuffle(standalone)
+        # Lines 5-7: regrow from standalone seeds.
+        working.extend(_greedy_pass(dfg, working_available, standalone))
+        improved = (
+            len(working) > len(best_motifs)
+            or (len(working) == len(best_motifs)
+                and len(working_available) < len(best_available))
+        )
+        if improved:
+            best_motifs = list(working)
+            best_available = set(working_available)
+            stall = 0
+        else:
+            stall += 1
+        motifs, available = working, working_available
+        # Stop when motifs outnumber standalone nodes (utilization of the
+        # motif compute unit and ALSU is already ensured).
+        if len(best_motifs) > len(best_available):
+            break
+
+    motifs = best_motifs
+    available = best_available
+
+    if make_pairs:
+        # Group leftover neighbours into two-node motifs.
+        for node_id in sorted(available):
+            if node_id not in available:
+                continue
+            pair = find_pair_for_node(dfg, node_id, available)
+            if pair is not None:
+                motifs.append(pair)
+                available.difference_update(pair.nodes)
+
+    result = MotifGenerationResult(
+        dfg=dfg,
+        motifs=motifs,
+        standalone=sorted(available),
+        rounds=rounds,
+    )
+    result.validate()
+    return result

@@ -1,0 +1,144 @@
+"""Three-node (and pair) pattern matching over DFGs.
+
+The matcher works on *available* compute nodes only (nodes not yet claimed
+by another motif) and considers only distance-0 data edges: loop-carried
+edges are scheduled with modulo offsets and are routed outside the motif's
+collective window.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+
+from repro.ir.graph import DFG
+from repro.motifs.types import Motif, MotifKind
+
+
+def _adjacency(dfg: DFG, available: set[int]):
+    """Distance-0 data adjacency restricted to available compute nodes."""
+    succs: dict[int, list[int]] = {nid: [] for nid in available}
+    preds: dict[int, list[int]] = {nid: [] for nid in available}
+    for edge in dfg.data_edges:
+        if edge.distance != 0:
+            continue
+        if edge.src in available and edge.dst in available \
+                and edge.src != edge.dst:
+            if edge.dst not in succs[edge.src]:
+                succs[edge.src].append(edge.dst)
+            if edge.src not in preds[edge.dst]:
+                preds[edge.dst].append(edge.src)
+    return succs, preds
+
+
+def _try_unicast(node: int, succs, preds) -> Motif | None:
+    # node as head: node -> b -> c
+    for b in succs[node]:
+        for c in succs[b]:
+            if c != node:
+                return Motif(MotifKind.UNICAST, (node, b, c))
+    # node as middle: a -> node -> c
+    for a in preds[node]:
+        for c in succs[node]:
+            if c != a:
+                return Motif(MotifKind.UNICAST, (a, node, c))
+    # node as tail: a -> b -> node
+    for b in preds[node]:
+        for a in preds[b]:
+            if a != node:
+                return Motif(MotifKind.UNICAST, (a, b, node))
+    return None
+
+
+def _try_fan_in(node: int, succs, preds) -> Motif | None:
+    # node as consumer: a -> node, b -> node
+    sources = preds[node]
+    if len(sources) >= 2:
+        return Motif(MotifKind.FAN_IN, (sources[0], sources[1], node))
+    # node as one producer: node -> c, b -> c
+    for c in succs[node]:
+        for b in preds[c]:
+            if b != node:
+                return Motif(MotifKind.FAN_IN, (node, b, c))
+    return None
+
+
+def _try_fan_out(node: int, succs, preds) -> Motif | None:
+    # node as producer: node -> a, node -> b
+    sinks = succs[node]
+    if len(sinks) >= 2:
+        return Motif(MotifKind.FAN_OUT, (node, sinks[0], sinks[1]))
+    # node as one consumer: p -> node, p -> b
+    for p in preds[node]:
+        for b in succs[p]:
+            if b != node:
+                return Motif(MotifKind.FAN_OUT, (p, node, b))
+    return None
+
+
+#: Pattern priority.  Unicast chains dominate arithmetic DFGs, so they are
+#: tried first; fan-in next (reduction trees); fan-out last.
+_MATCHERS: tuple[Callable, ...] = (_try_unicast, _try_fan_in, _try_fan_out)
+
+
+def find_motif_for_node(dfg: DFG, node_id: int,
+                        available: set[int]) -> Motif | None:
+    """Find any three-node motif containing ``node_id`` whose members are
+    all in ``available``; None when no pattern matches."""
+    if node_id not in available:
+        return None
+    succs, preds = _adjacency(dfg, available)
+    for matcher in _MATCHERS:
+        motif = matcher(node_id, succs, preds)
+        if motif is not None:
+            return motif
+    return None
+
+
+def find_pair_for_node(dfg: DFG, node_id: int,
+                       available: set[int]) -> Motif | None:
+    """Find a two-node motif (single edge) containing ``node_id``."""
+    if node_id not in available:
+        return None
+    succs, preds = _adjacency(dfg, available)
+    for dst in succs[node_id]:
+        return Motif(MotifKind.PAIR, (node_id, dst))
+    for src in preds[node_id]:
+        return Motif(MotifKind.PAIR, (src, node_id))
+    return None
+
+
+def match_kind(dfg: DFG, nodes: Iterable[int]) -> MotifKind | None:
+    """Classify the sub-DFG induced by three nodes as a motif kind.
+
+    Returns the kind whose pattern edges are a subset of the present
+    distance-0 edges (acyclic triangles classify as the basic motif they
+    extend, per Section 3.2); None if no basic motif fits.
+    """
+    members = tuple(nodes)
+    present = {
+        (edge.src, edge.dst)
+        for edge in dfg.subgraph_edges(members)
+        if edge.distance == 0 and not edge.is_ordering
+    }
+    if len(members) == 2:
+        a, b = members
+        if (a, b) in present:
+            return MotifKind.PAIR
+        if (b, a) in present:
+            return MotifKind.PAIR
+        return None
+    if len(members) != 3:
+        return None
+    import itertools
+    # Try every role assignment; prefer UNICAST (covers 2 edges in a chain),
+    # then FAN_IN / FAN_OUT.
+    for kind in (MotifKind.UNICAST, MotifKind.FAN_IN, MotifKind.FAN_OUT):
+        from repro.motifs.types import PATTERN_EDGES
+        for perm in itertools.permutations(members):
+            needed = {
+                (perm[src_role], perm[dst_role])
+                for src_role, dst_role in PATTERN_EDGES[kind]
+            }
+            if needed <= present:
+                return kind
+    return None

@@ -1,0 +1,116 @@
+"""Motif data types."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import MotifError
+from repro.ir.graph import DFG, DFGEdge
+
+
+class MotifKind(enum.Enum):
+    """The motif taxonomy of Section 3.2.
+
+    FAN_OUT, FAN_IN, and UNICAST are the three fundamental three-node
+    motifs.  PAIR is the two-node sub-DFG (also executed on the motif
+    compute unit).  SINGLETON is the paper's "special motif where motif
+    node number is one" — a standalone node.
+    """
+
+    FAN_OUT = "fan-out"
+    FAN_IN = "fan-in"
+    UNICAST = "unicast"
+    PAIR = "pair"
+    SINGLETON = "singleton"
+
+
+#: Role-indexed pattern edges per kind: (producer_role, consumer_role).
+PATTERN_EDGES: dict[MotifKind, tuple[tuple[int, int], ...]] = {
+    MotifKind.FAN_OUT: ((0, 1), (0, 2)),
+    MotifKind.FAN_IN: ((0, 2), (1, 2)),
+    MotifKind.UNICAST: ((0, 1), (1, 2)),
+    MotifKind.PAIR: ((0, 1),),
+    MotifKind.SINGLETON: (),
+}
+
+MOTIF_SIZE: dict[MotifKind, int] = {
+    MotifKind.FAN_OUT: 3,
+    MotifKind.FAN_IN: 3,
+    MotifKind.UNICAST: 3,
+    MotifKind.PAIR: 2,
+    MotifKind.SINGLETON: 1,
+}
+
+
+@dataclass(frozen=True)
+class Motif:
+    """A motif instance: node ids listed in *role* order.
+
+    Role order per kind (see :data:`PATTERN_EDGES`):
+
+    * FAN_OUT: (producer, consumer_a, consumer_b)
+    * FAN_IN:  (producer_a, producer_b, consumer)
+    * UNICAST: (head, middle, tail)
+    * PAIR:    (producer, consumer)
+    * SINGLETON: (node,)
+    """
+
+    kind: MotifKind
+    nodes: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        expected = MOTIF_SIZE[self.kind]
+        if len(self.nodes) != expected:
+            raise MotifError(
+                f"{self.kind.value} motif needs {expected} nodes, "
+                f"got {len(self.nodes)}"
+            )
+        if len(set(self.nodes)) != len(self.nodes):
+            raise MotifError(f"motif repeats a node: {self.nodes}")
+
+    @property
+    def size(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def is_collective(self) -> bool:
+        """True for motifs that occupy the motif compute unit (size >= 2)."""
+        return self.size >= 2
+
+    def pattern_edges(self) -> tuple[tuple[int, int], ...]:
+        """Internal edges as (src_node_id, dst_node_id) pairs."""
+        return tuple(
+            (self.nodes[src_role], self.nodes[dst_role])
+            for src_role, dst_role in PATTERN_EDGES[self.kind]
+        )
+
+    def internal_edges(self, dfg: DFG) -> list[DFGEdge]:
+        """All data edges of ``dfg`` with both endpoints in this motif."""
+        members = set(self.nodes)
+        return [
+            edge for edge in dfg.data_edges
+            if edge.src in members and edge.dst in members
+        ]
+
+    def validate_against(self, dfg: DFG) -> None:
+        """Check that the pattern edges exist with distance 0 in ``dfg``
+        and that every member is a compute node."""
+        for node_id in self.nodes:
+            node = dfg.node(node_id)
+            if not node.is_compute:
+                raise MotifError(
+                    f"motif member '{node.name}' is a memory node"
+                )
+        present = {
+            (edge.src, edge.dst)
+            for edge in dfg.data_edges if edge.distance == 0
+        }
+        for src, dst in self.pattern_edges():
+            if (src, dst) not in present:
+                raise MotifError(
+                    f"{self.kind.value} motif missing edge {src}->{dst}"
+                )
+
+    def __repr__(self) -> str:
+        return f"Motif({self.kind.value}, nodes={self.nodes})"

@@ -1,0 +1,26 @@
+"""Cycle-accurate simulation and configuration generation.
+
+The simulator replays a mapping's static configuration cycle by cycle —
+functional units execute, values travel through register places per the
+routed occupancy tables, the scratchpad services loads and stores — and
+verifies the final memory image against the reference interpreter.  As in
+the paper, performance is deterministic at compile time; "the primary
+purpose of the simulation is to verify the mapping and hardware design."
+"""
+
+from repro.sim.spm import Scratchpad
+from repro.sim.machine import CGRASimulator, SimulationReport
+from repro.sim.spatial_sim import SpatialSimulator
+from repro.sim.config import ConfigBundle, encode_mapping
+from repro.sim.trace import TraceEvent, TraceRecorder
+
+__all__ = [
+    "CGRASimulator",
+    "ConfigBundle",
+    "Scratchpad",
+    "SimulationReport",
+    "SpatialSimulator",
+    "TraceEvent",
+    "TraceRecorder",
+    "encode_mapping",
+]

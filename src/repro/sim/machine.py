@@ -1,0 +1,259 @@
+"""Cycle-accurate simulator for modulo-scheduled mappings (ST and Plaid).
+
+The simulator executes the mapping's static schedule over a window of
+iterations with real 16-bit data:
+
+* each cycle, FUs whose slot fires execute their node — loads/stores hit
+  the scratchpad, ALU ops evaluate on operand values fetched from the
+  fabric's register places (or over a bypass path);
+* values travel between places exactly per the routed occupancy tables;
+  a consumer failing to find its operand in the expected place at the
+  expected cycle is a hard error;
+* register-place capacity and SPM ports are enforced every cycle.
+
+After the window, the scratchpad contents are compared word-for-word with
+the reference interpreter run over the same iterations — the end-to-end
+check the paper uses its cycle-accurate simulator for.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.ir.graph import DFG
+from repro.ir.interpreter import DFGInterpreter, MemoryImage
+from repro.ir.ops import OP_ARITY, Opcode, evaluate, to_unsigned
+from repro.mapping.base import Mapping
+from repro.sim.spm import Scratchpad
+from repro.sim.trace import TraceRecorder
+
+
+@dataclass
+class SimulationReport:
+    """Outcome of one simulation window."""
+
+    iterations: int
+    cycles: int
+    fu_firings: int = 0
+    spm_reads: int = 0
+    spm_writes: int = 0
+    transport_occupancies: int = 0
+    verified: bool = False
+    mismatches: list[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        status = "VERIFIED" if self.verified else "MISMATCH"
+        return (
+            f"{status}: {self.iterations} iterations in {self.cycles} "
+            f"cycles, {self.fu_firings} firings, "
+            f"{self.spm_reads}r/{self.spm_writes}w SPM"
+        )
+
+
+class CGRASimulator:
+    """Replay a mapping's configuration against real data."""
+
+    def __init__(self, mapping: Mapping,
+                 trace: TraceRecorder | None = None) -> None:
+        self.mapping = mapping
+        self.dfg: DFG = mapping.dfg
+        self.arch = mapping.arch
+        self.trace = trace
+
+    # ------------------------------------------------------------------
+    def run(self, memory: MemoryImage, iterations: int | None = None,
+            verify: bool = True) -> SimulationReport:
+        """Simulate ``iterations`` pipelined iterations starting from
+        ``memory`` (which is left untouched; the SPM gets a copy)."""
+        dfg = self.dfg
+        mapping = self.mapping
+        ii = mapping.ii
+        total_iters = dfg.iterations if iterations is None else iterations
+        if total_iters < 1:
+            raise SimulationError("need at least one iteration")
+
+        reference = memory.copy()
+        spm = Scratchpad(self.arch.spm_banks, self.arch.spm_bytes_per_bank)
+        spm.load_image(memory.copy())
+
+        end_cycle = (total_iters - 1) * ii + mapping.makespan - 1
+
+        # Static tables: executions and occupancies per absolute cycle.
+        exec_at: dict[int, list[tuple[int, int]]] = defaultdict(list)
+        for node in dfg.nodes:
+            fu_id, sigma = mapping.placement[node.node_id]
+            for k in range(total_iters):
+                cycle = sigma + k * ii
+                if cycle <= end_cycle:
+                    exec_at[cycle].append((node.node_id, k))
+        occupancy_at: dict[int, list[tuple[int, int, int]]] = defaultdict(list)
+        total_occ = 0
+        for route in mapping.routes.values():
+            for k in range(total_iters):
+                for place, cycle in route.places:
+                    abs_cycle = cycle + k * ii
+                    if abs_cycle <= end_cycle:
+                        occupancy_at[abs_cycle].append((place, route.net, k))
+                        total_occ += 1
+
+        outputs: dict[tuple[int, int], int] = {}
+        place_values: dict[int, dict[tuple[int, int], int]] = {}
+        report = SimulationReport(iterations=total_iters,
+                                  cycles=end_cycle + 1)
+        report.transport_occupancies = total_occ
+
+        for cycle in range(end_cycle + 1):
+            spm.begin_cycle()
+            # 1. Execute firings using the *current* place contents.
+            fired: list[tuple[int, int, int]] = []
+            for node_id, k in exec_at.get(cycle, ()):
+                value = self._fire(node_id, k, cycle, place_values,
+                                   outputs, spm, report)
+                fired.append((node_id, k, value))
+            for node_id, k, value in fired:
+                outputs[(node_id, k)] = value
+                if self.trace is not None:
+                    fu_id, _sigma = self.mapping.placement[node_id]
+                    self.trace.record(cycle, "exec",
+                                      node=node_id, iteration=k,
+                                      fu=fu_id, value=value)
+            # 2. Advance transport: place contents for the NEXT cycle.
+            next_values: dict[int, dict[tuple[int, int], int]] = {}
+            for place, net, k in occupancy_at.get(cycle + 1, ()):
+                value = outputs.get((net, k))
+                if value is None:
+                    raise SimulationError(
+                        f"cycle {cycle + 1}: occupancy of ({net},{k}) at "
+                        f"place {place} before production"
+                    )
+                bucket = next_values.setdefault(place, {})
+                bucket[(net, k)] = value
+            for place, bucket in next_values.items():
+                capacity = self.arch.place(place).capacity
+                if len(bucket) > capacity:
+                    raise SimulationError(
+                        f"cycle {cycle + 1}: place "
+                        f"{self.arch.place(place).name} holds {len(bucket)} "
+                        f"values, capacity {capacity}"
+                    )
+            place_values = next_values
+
+        final = spm.dump_image()
+        if verify:
+            interp = DFGInterpreter(dfg)
+            interp.run(reference, iterations=total_iters)
+            report.mismatches = self._compare(reference, final)
+            report.verified = not report.mismatches
+        else:
+            report.verified = True
+        return report
+
+    # ------------------------------------------------------------------
+    def _fire(self, node_id: int, k: int, cycle: int, place_values,
+              outputs, spm: Scratchpad, report: SimulationReport) -> int:
+        dfg = self.dfg
+        node = dfg.node(node_id)
+        operands: dict[int, int] = {}
+        for edge in dfg.in_edges(node_id):
+            if edge.is_ordering:
+                continue
+            producer_iter = k - edge.distance
+            if producer_iter < 0:
+                operands[edge.operand_index] = to_unsigned(
+                    int(node.annotations.get("init", 0)))
+                continue
+            index = self._edge_index(edge)
+            route = self.mapping.routes[index]
+            key = (edge.src, producer_iter)
+            if route.bypass:
+                value = outputs.get(key)
+                if value is None:
+                    raise SimulationError(
+                        f"cycle {cycle}: bypass operand {key} missing for "
+                        f"'{node.name}'"
+                    )
+            else:
+                final_place = route.places[-1][0]
+                fu_id, _sigma = self.mapping.placement[node_id]
+                if final_place not in self.arch.consume_places[fu_id]:
+                    raise SimulationError(
+                        f"cycle {cycle}: '{node.name}' on "
+                        f"{self.arch.fu(fu_id).name} cannot read place "
+                        f"{self.arch.place(final_place).name}"
+                    )
+                bucket = place_values.get(final_place, {})
+                value = bucket.get(key)
+                if value is None:
+                    raise SimulationError(
+                        f"cycle {cycle}: '{node.name}' expected value "
+                        f"{key} in place "
+                        f"{self.arch.place(final_place).name}, not there"
+                    )
+            operands[edge.operand_index] = value
+
+        report.fu_firings += 1
+        indices = dfg.iteration_indices(k)
+        if node.op is Opcode.LOAD:
+            report.spm_reads += 1
+            return spm.read(node.access.array, node.access.address(indices))
+        if node.op is Opcode.STORE:
+            report.spm_writes += 1
+            value = operands.get(0)
+            if value is None and node.const is not None:
+                value = to_unsigned(node.const)
+            if value is None:
+                raise SimulationError(f"store '{node.name}' without a value")
+            spm.write(node.access.array, node.access.address(indices), value)
+            return value
+        return self._alu(node, operands)
+
+    def _alu(self, node, operands: dict[int, int]) -> int:
+        arity = OP_ARITY[node.op]
+        args: list[int] = []
+        const_used = False
+        for slot in range(arity):
+            if slot in operands:
+                args.append(operands[slot])
+            elif node.const is not None and not const_used:
+                args.append(to_unsigned(node.const))
+                const_used = True
+            elif node.op is Opcode.SEL and slot == 2:
+                args.append(1)
+            else:
+                raise SimulationError(
+                    f"'{node.name}' missing operand {slot} at execution"
+                )
+        return evaluate(node.op, args)
+
+    # ------------------------------------------------------------------
+    def _edge_index(self, edge) -> int:
+        index = getattr(self, "_edge_index_cache", None)
+        if index is None:
+            index = {id(e): i for i, e in enumerate(self.dfg.edges)}
+            # identity does not survive dfg.edges returning copies; key by
+            # tuple instead
+            index = {}
+            for i, e in enumerate(self.dfg.edges):
+                index[(e.src, e.dst, e.operand_index, e.distance)] = i
+            self._edge_index_cache = index
+        return index[(edge.src, edge.dst, edge.operand_index, edge.distance)]
+
+    @staticmethod
+    def _compare(expected: MemoryImage, actual: MemoryImage) -> list[str]:
+        mismatches = []
+        for name in expected.names:
+            want = expected.array(name)
+            if name not in actual.names:
+                mismatches.append(f"array '{name}' missing from SPM")
+                continue
+            got = actual.array(name)
+            for index, (w, g) in enumerate(zip(want, got)):
+                if w != g:
+                    mismatches.append(
+                        f"'{name}'[{index}]: expected {w}, got {g}"
+                    )
+                    if len(mismatches) > 10:
+                        return mismatches
+        return mismatches

@@ -1,0 +1,38 @@
+"""Execution tracing for simulator debugging and the examples."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded simulator event."""
+
+    cycle: int
+    kind: str
+    detail: dict
+
+    def render(self) -> str:
+        body = " ".join(f"{k}={v}" for k, v in sorted(self.detail.items()))
+        return f"[{self.cycle:>5}] {self.kind:<6} {body}"
+
+
+@dataclass
+class TraceRecorder:
+    """Collects events; optionally bounded to the first ``limit`` events."""
+
+    limit: int | None = None
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def record(self, cycle: int, kind: str, **detail) -> None:
+        if self.limit is not None and len(self.events) >= self.limit:
+            return
+        self.events.append(TraceEvent(cycle, kind, detail))
+
+    def render(self, head: int | None = None) -> str:
+        events = self.events if head is None else self.events[:head]
+        return "\n".join(event.render() for event in events)
+
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        return [event for event in self.events if event.kind == kind]

@@ -1,0 +1,6 @@
+"""Small shared utilities: deterministic RNG handling and text tables."""
+
+from repro.utils.rng import make_rng
+from repro.utils.tables import format_table
+
+__all__ = ["make_rng", "format_table"]

@@ -1,0 +1,26 @@
+"""Deterministic random-number helpers.
+
+All stochastic algorithms in this package (motif regeneration, simulated
+annealing, PathFinder tie-breaking) accept either a seed or an existing
+``random.Random``.  Routing everything through :func:`make_rng` keeps every
+experiment reproducible run-to-run.
+"""
+
+from __future__ import annotations
+
+import random
+
+DEFAULT_SEED = 0xC64A
+
+
+def make_rng(seed_or_rng: int | random.Random | None = None) -> random.Random:
+    """Return a ``random.Random`` from a seed, an existing RNG, or a default.
+
+    Passing an existing RNG returns it unchanged so callers can thread one
+    generator through nested algorithms.
+    """
+    if isinstance(seed_or_rng, random.Random):
+        return seed_or_rng
+    if seed_or_rng is None:
+        return random.Random(DEFAULT_SEED)
+    return random.Random(seed_or_rng)

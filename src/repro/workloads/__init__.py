@@ -1,0 +1,34 @@
+"""Evaluated workloads (Table 2): 30 DFGs across three domains.
+
+* Linear algebra — the first six PolyBench linear-algebra kernels (atax,
+  bicg, doitgen, gemm, gemver, gesummv) at unroll factors 2 and 4;
+* Machine learning — TinyML-style kernels (conv2x2, conv3x3, dwconv, fc);
+  dwconv also at unroll 5 (its trip count is not divisible by 2 or 4);
+* Image — PolyBench image/stencil kernels (cholesky, durbin, fdtd,
+  gramschmidt, jacobi, seidel) at the paper's unroll factors.
+
+Kernels are written in the annotated-C subset (no division: fixed-point
+shifts, as the paper's 16-bit integer ALUs require) and compiled through
+the frontend.  :mod:`repro.workloads.dnn` composes three DNN applications
+(10/13/16 layers) from the ML kernels for the application-level study.
+"""
+
+from repro.workloads.registry import (
+    WorkloadSpec,
+    all_workloads,
+    get_dfg,
+    get_workload,
+    workloads_by_domain,
+)
+from repro.workloads.dnn import DNN_APPS, DnnApp, DnnLayer
+
+__all__ = [
+    "DNN_APPS",
+    "DnnApp",
+    "DnnLayer",
+    "WorkloadSpec",
+    "all_workloads",
+    "get_dfg",
+    "get_workload",
+    "workloads_by_domain",
+]

@@ -1,0 +1,84 @@
+"""DNN applications for the application-level study (Figure 16).
+
+Three TinyML-style networks with 10, 13, and 16 layers.  "Most layers are
+Convolution layers and DepthWiseConv layers" (Section 6.4); each layer is
+an invocation of one evaluated kernel scaled by its channel count, so an
+application's cycles/energy are the channel-weighted sums of the per-kernel
+results — how statically-scheduled CGRAs actually run networks (one kernel
+configuration per layer, swept over channels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DnnLayer:
+    """One network layer: which kernel runs, and how many times."""
+
+    kernel: str           # workload name from the registry
+    invocations: int      # channel/filter sweep count
+
+    def describe(self) -> str:
+        return f"{self.kernel} x{self.invocations}"
+
+
+@dataclass(frozen=True)
+class DnnApp:
+    """A whole network."""
+
+    name: str
+    layers: tuple[DnnLayer, ...]
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+
+def _mbnet_block(channels: int) -> tuple[DnnLayer, ...]:
+    """Depthwise-separable block: dwconv + pointwise conv."""
+    return (
+        DnnLayer("dwconv_u5", channels),
+        DnnLayer("conv2x2", channels),
+    )
+
+
+DNN1 = DnnApp("DNN1", (
+    DnnLayer("conv3x3", 8),
+    *_mbnet_block(8),
+    *_mbnet_block(16),
+    *_mbnet_block(16),
+    DnnLayer("conv3x3", 16),
+    DnnLayer("dwconv_u5", 16),
+    DnnLayer("fc", 4),
+))                                                  # 10 layers
+
+DNN2 = DnnApp("DNN2", (
+    DnnLayer("conv3x3", 8),
+    *_mbnet_block(8),
+    *_mbnet_block(16),
+    *_mbnet_block(16),
+    *_mbnet_block(32),
+    DnnLayer("conv3x3", 32),
+    *_mbnet_block(32),
+    DnnLayer("fc", 8),
+))                                                  # 13 layers
+
+DNN3 = DnnApp("DNN3", (
+    DnnLayer("conv3x3", 8),
+    DnnLayer("conv3x3", 8),
+    *_mbnet_block(8),
+    *_mbnet_block(16),
+    *_mbnet_block(16),
+    *_mbnet_block(32),
+    *_mbnet_block(32),
+    DnnLayer("conv3x3", 32),
+    *_mbnet_block(64),
+    DnnLayer("fc", 8),
+))                                                  # 16 layers
+
+DNN_APPS: tuple[DnnApp, ...] = (DNN1, DNN2, DNN3)
+
+for _app, _expected in ((DNN1, 10), (DNN2, 13), (DNN3, 16)):
+    assert _app.num_layers == _expected, (_app.name, _app.num_layers)

@@ -1,0 +1,79 @@
+"""PolyBench image / stencil / factorization kernels (division-free).
+
+Divisions in the reference kernels become arithmetic shifts (fixed-point),
+which is how integer-only CGRAs run them; seidel stays in-place so its
+memory-carried recurrences exercise the dependence analysis.
+"""
+
+CHOLESKY = """
+// cholesky (simplified update step): A = (A - L_row * L_col) >> 1
+#pragma plaid
+for (i = 0; i < 8; i++) {
+  for (j = 0; j < 16; j++) {
+    A[i][j] = (A[i][j] - L[i] * L[j]) >> 1;
+  }
+}
+"""
+CHOLESKY_SHAPES = {"A": (8, 16)}
+
+DURBIN = """
+// durbin (levinson-durbin inner sweep): z = r - alpha*y, beta accumulation
+#pragma plaid
+for (i = 0; i < 4; i++) {
+  for (j = 0; j < 16; j++) {
+    t = r[j] - (y[j] * alpha[i]);
+    z[j] = t >> 1;
+    beta[i] += y[j] * r[j];
+  }
+}
+"""
+DURBIN_SHAPES = {}
+
+FDTD = """
+// fdtd-2d (field update slice): ey -= (hz[i][j+1] - hz[i][j]) >> 1
+#pragma plaid
+for (i = 0; i < 8; i++) {
+  for (j = 0; j < 16; j++) {
+    ey[i][j] = ey[i][j] - ((hz[i][j + 1] - hz[i][j]) >> 1);
+    hx[i][j] = hx[i][j] - ((hz[i + 1][j] - hz[i][j]) >> 1);
+  }
+}
+"""
+FDTD_SHAPES = {"ey": (8, 16), "hz": (9, 17), "hx": (8, 16)}
+
+GRAMSCHMIDT = """
+// gram-schmidt (projection step): nrm accumulation + Q scaling
+#pragma plaid
+for (k = 0; k < 4; k++) {
+  for (i = 0; i < 16; i++) {
+    nrm[k] += A[k][i] * A[k][i];
+    Q[k][i] = A[k][i] >> 2;
+  }
+}
+"""
+GRAMSCHMIDT_SHAPES = {"A": (4, 16), "Q": (4, 16)}
+
+JACOBI = """
+// jacobi-2d (out-of-place 5-point stencil)
+#pragma plaid
+for (i = 0; i < 8; i++) {
+  for (j = 0; j < 16; j++) {
+    B[i + 1][j + 1] = (A[i + 1][j] + A[i + 1][j + 1] + A[i + 1][j + 2]
+                     + A[i][j + 1] + A[i + 2][j + 1]) >> 2;
+  }
+}
+"""
+JACOBI_SHAPES = {"A": (10, 18), "B": (10, 18)}
+
+SEIDEL = """
+// seidel-2d (in-place 9-point stencil; memory-carried recurrences)
+#pragma plaid
+for (i = 0; i < 8; i++) {
+  for (j = 0; j < 16; j++) {
+    A[i + 1][j + 1] = (A[i][j]     + A[i][j + 1]     + A[i][j + 2]
+                     + A[i + 1][j] + A[i + 1][j + 1] + A[i + 1][j + 2]
+                     + A[i + 2][j] + A[i + 2][j + 1] + A[i + 2][j + 2]) >> 3;
+  }
+}
+"""
+SEIDEL_SHAPES = {"A": (10, 18)}

@@ -1,0 +1,79 @@
+"""PolyBench linear-algebra kernels (first six, as in the paper).
+
+Division-free 16-bit variants: scalar coefficients become small integer
+constants or shifts, matching what the paper's integer CGRA executes.
+"""
+
+ATAX = """
+// atax: y = A^T (A x), fused row/column accumulation
+#pragma plaid
+for (i = 0; i < 8; i++) {
+  for (j = 0; j < 16; j++) {
+    tmp[i] += A[i][j] * x[j];
+    y[j] += A[i][j] * q[i];
+  }
+}
+"""
+ATAX_SHAPES = {"A": (8, 16)}
+
+BICG = """
+// bicg: s = A^T r, q = A p
+#pragma plaid
+for (i = 0; i < 8; i++) {
+  for (j = 0; j < 16; j++) {
+    s[j] += r[i] * A[i][j];
+    q[i] += A[i][j] * p[j];
+  }
+}
+"""
+BICG_SHAPES = {"A": (8, 16)}
+
+DOITGEN = """
+// doitgen: multiresolution analysis kernel (inner product slice)
+#pragma plaid
+for (p = 0; p < 8; p++) {
+  for (s = 0; s < 16; s++) {
+    t = x[s] * C4[s][p];
+    sum[p] += t;
+    w[s] = (x[s] + t) >> 1;
+  }
+}
+"""
+DOITGEN_SHAPES = {"C4": (16, 8)}
+
+GEMM = """
+// gemm: C = alpha*A*B + beta*C (alpha=3, beta via shift), k innermost
+#pragma plaid
+for (i = 0; i < 4; i++) {
+  for (j = 0; j < 4; j++) {
+    for (k = 0; k < 16; k++) {
+      C[i][j] += (A[i][k] * B[k][j]) * 3;
+    }
+  }
+}
+"""
+GEMM_SHAPES = {"A": (4, 16), "B": (16, 4), "C": (4, 4)}
+
+GEMVER = """
+// gemver: rank-2 update plus matrix-vector accumulation
+#pragma plaid
+for (i = 0; i < 8; i++) {
+  for (j = 0; j < 16; j++) {
+    Ahat[i][j] = A[i][j] + u1[i] * v1[j] + u2[i] * v2[j];
+    x[j] += Ahat[i][j] * y[i];
+  }
+}
+"""
+GEMVER_SHAPES = {"A": (8, 16), "Ahat": (8, 16)}
+
+GESUMMV = """
+// gesummv: y = alpha*A*x + beta*B*x (alpha=3, beta=2)
+#pragma plaid
+for (i = 0; i < 8; i++) {
+  for (j = 0; j < 16; j++) {
+    tmp[i] += A[i][j] * x[j];
+    y[i] += (B[i][j] * x[j]) * 2;
+  }
+}
+"""
+GESUMMV_SHAPES = {"A": (8, 16), "B": (8, 16)}

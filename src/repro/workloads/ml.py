@@ -1,0 +1,55 @@
+"""TinyML-style machine-learning kernels (fixed-point, division-free).
+
+Activations are integer ReLU (``max(x, 0)``); requantization is a right
+shift, as in TFLite-micro integer kernels.
+"""
+
+CONV2X2 = """
+// conv2x2: 2x2 convolution + requantize + relu
+#pragma plaid
+for (i = 0; i < 14; i++) {
+  for (j = 0; j < 14; j++) {
+    acc = in[i][j]     * w[0][0] + in[i][j + 1]     * w[0][1]
+        + in[i + 1][j] * w[1][0] + in[i + 1][j + 1] * w[1][1];
+    out[i][j] = max(acc >> 4, 0);
+  }
+}
+"""
+CONV2X2_SHAPES = {"in": (15, 15), "w": (2, 2), "out": (14, 14)}
+
+CONV3X3 = """
+// conv3x3: 3x3 convolution + requantize + relu
+#pragma plaid
+for (i = 0; i < 12; i++) {
+  for (j = 0; j < 12; j++) {
+    acc = in[i][j]     * w[0][0] + in[i][j + 1]     * w[0][1] + in[i][j + 2]     * w[0][2]
+        + in[i + 1][j] * w[1][0] + in[i + 1][j + 1] * w[1][1] + in[i + 1][j + 2] * w[1][2]
+        + in[i + 2][j] * w[2][0] + in[i + 2][j + 1] * w[2][1] + in[i + 2][j + 2] * w[2][2];
+    out[i][j] = max(acc >> 4, 0);
+  }
+}
+"""
+CONV3X3_SHAPES = {"in": (14, 14), "w": (3, 3), "out": (12, 12)}
+
+DWCONV = """
+// dwconv: depthwise 1x1-per-channel multiply + requantize + relu
+#pragma plaid
+for (c = 0; c < 4; c++) {
+  for (i = 0; i < 15; i++) {
+    out[c][i] = max((in[c][i] * k[c][i]) >> 2, 0);
+  }
+}
+"""
+DWCONV_SHAPES = {"in": (4, 15), "k": (4, 15), "out": (4, 15)}
+
+FC = """
+// fc: fully-connected layer, two output neurons per pass + bias shift
+#pragma plaid
+for (i = 0; i < 4; i++) {
+  for (j = 0; j < 16; j++) {
+    out0[i] += in[j] * W0[i][j];
+    out1[i] += (in[j] * W1[i][j]) >> 1;
+  }
+}
+"""
+FC_SHAPES = {"W0": (4, 16), "W1": (4, 16)}

@@ -1,0 +1,142 @@
+"""Workload registry: the 30 evaluated DFGs and their Table 2 rows.
+
+``paper_row`` records the characteristics the paper's Table 2 lists for
+each DFG (total nodes, compute nodes, motif-covered compute nodes) so the
+Table 2 benchmark can print paper-vs-ours side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.errors import WorkloadError
+from repro.frontend import compile_kernel
+from repro.ir.graph import DFG
+from repro.workloads import image, linear_algebra, ml
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One evaluated DFG."""
+
+    name: str             # e.g. "atax_u2"
+    kernel: str           # base kernel name
+    domain: str           # 'linear-algebra' | 'ml' | 'image'
+    source: str           # annotated-C text
+    shapes: tuple[tuple[str, tuple[int, ...]], ...]
+    unroll: int
+    paper_row: tuple[int, int, int] | None = None
+
+    @property
+    def shape_dict(self) -> dict[str, tuple[int, ...]]:
+        return dict(self.shapes)
+
+
+def _spec(name, kernel, domain, source, shapes, unroll, paper_row=None):
+    return WorkloadSpec(
+        name=name, kernel=kernel, domain=domain, source=source,
+        shapes=tuple(sorted(shapes.items())), unroll=unroll,
+        paper_row=paper_row,
+    )
+
+
+_LA = "linear-algebra"
+_ML = "ml"
+_IMG = "image"
+
+#: The 30 DFGs of Table 2 (paper rows transcribed from the table).
+_SPECS: tuple[WorkloadSpec, ...] = (
+    # --- linear algebra ---------------------------------------------------
+    _spec("atax_u2", "atax", _LA, linear_algebra.ATAX,
+          linear_algebra.ATAX_SHAPES, 2, (15, 6, 6)),
+    _spec("atax_u4", "atax", _LA, linear_algebra.ATAX,
+          linear_algebra.ATAX_SHAPES, 4, (27, 14, 11)),
+    _spec("bicg_u2", "bicg", _LA, linear_algebra.BICG,
+          linear_algebra.BICG_SHAPES, 2, (23, 11, 10)),
+    _spec("bicg_u4", "bicg", _LA, linear_algebra.BICG,
+          linear_algebra.BICG_SHAPES, 4, (42, 23, 19)),
+    _spec("doitgen_u2", "doitgen", _LA, linear_algebra.DOITGEN,
+          linear_algebra.DOITGEN_SHAPES, 2, (18, 9, 9)),
+    _spec("doitgen_u4", "doitgen", _LA, linear_algebra.DOITGEN,
+          linear_algebra.DOITGEN_SHAPES, 4, (34, 21, 10)),
+    _spec("gemm_u2", "gemm", _LA, linear_algebra.GEMM,
+          linear_algebra.GEMM_SHAPES, 2, (21, 12, 12)),
+    _spec("gemm_u4", "gemm", _LA, linear_algebra.GEMM,
+          linear_algebra.GEMM_SHAPES, 4, (37, 24, 23)),
+    _spec("gemver_u2", "gemver", _LA, linear_algebra.GEMVER,
+          linear_algebra.GEMVER_SHAPES, 2, (21, 11, 10)),
+    _spec("gemver_u4", "gemver", _LA, linear_algebra.GEMVER,
+          linear_algebra.GEMVER_SHAPES, 4, (41, 23, 19)),
+    _spec("gesum_u2", "gesummv", _LA, linear_algebra.GESUMMV,
+          linear_algebra.GESUMMV_SHAPES, 2, (22, 9, 8)),
+    _spec("gesum_u4", "gesummv", _LA, linear_algebra.GESUMMV,
+          linear_algebra.GESUMMV_SHAPES, 4, (38, 19, 16)),
+    # --- machine learning --------------------------------------------------
+    _spec("conv2x2", "conv2x2", _ML, ml.CONV2X2, ml.CONV2X2_SHAPES, 1,
+          (20, 12, 10)),
+    _spec("conv3x3", "conv3x3", _ML, ml.CONV3X3, ml.CONV3X3_SHAPES, 1,
+          (37, 26, 17)),
+    _spec("dwconv", "dwconv", _ML, ml.DWCONV, ml.DWCONV_SHAPES, 1,
+          (7, 3, 2)),
+    _spec("dwconv_u5", "dwconv", _ML, ml.DWCONV, ml.DWCONV_SHAPES, 5,
+          (31, 19, 13)),
+    _spec("fc", "fc", _ML, ml.FC, ml.FC_SHAPES, 1, (17, 8, 7)),
+    # --- image -------------------------------------------------------------
+    _spec("cholesky_u2", "cholesky", _IMG, image.CHOLESKY,
+          image.CHOLESKY_SHAPES, 2, (14, 5, 4)),
+    _spec("cholesky_u4", "cholesky", _IMG, image.CHOLESKY,
+          image.CHOLESKY_SHAPES, 4, (28, 11, 8)),
+    _spec("durbin_u2", "durbin", _IMG, image.DURBIN, image.DURBIN_SHAPES, 2,
+          (14, 7, 4)),
+    _spec("durbin_u4", "durbin", _IMG, image.DURBIN, image.DURBIN_SHAPES, 4,
+          (28, 15, 8)),
+    _spec("fdtd_u2", "fdtd", _IMG, image.FDTD, image.FDTD_SHAPES, 2,
+          (16, 7, 6)),
+    _spec("fdtd_u4", "fdtd", _IMG, image.FDTD, image.FDTD_SHAPES, 4,
+          (32, 15, 12)),
+    _spec("gramsc_u2", "gramschmidt", _IMG, image.GRAMSCHMIDT,
+          image.GRAMSCHMIDT_SHAPES, 2, (15, 5, 4)),
+    _spec("gramsc_u4", "gramschmidt", _IMG, image.GRAMSCHMIDT,
+          image.GRAMSCHMIDT_SHAPES, 4, (25, 11, 8)),
+    _spec("jacobi", "jacobi", _IMG, image.JACOBI, image.JACOBI_SHAPES, 1,
+          (16, 7, 5)),
+    _spec("jacobi_u2", "jacobi", _IMG, image.JACOBI, image.JACOBI_SHAPES, 2,
+          (30, 15, 12)),
+    _spec("jacobi_u4", "jacobi", _IMG, image.JACOBI, image.JACOBI_SHAPES, 4,
+          (54, 30, 27)),
+    _spec("seidel", "seidel", _IMG, image.SEIDEL, image.SEIDEL_SHAPES, 1,
+          (22, 11, 9)),
+    _spec("seidel_u2", "seidel", _IMG, image.SEIDEL, image.SEIDEL_SHAPES, 2,
+          (44, 23, 21)),
+)
+
+_BY_NAME = {spec.name: spec for spec in _SPECS}
+
+
+def all_workloads() -> list[WorkloadSpec]:
+    """Every evaluated workload, Table 2 order."""
+    return list(_SPECS)
+
+
+def workloads_by_domain(domain: str) -> list[WorkloadSpec]:
+    """Workloads of one domain ('linear-algebra', 'ml', 'image')."""
+    found = [spec for spec in _SPECS if spec.domain == domain]
+    if not found:
+        raise WorkloadError(f"unknown domain '{domain}'")
+    return found
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise WorkloadError(f"unknown workload '{name}'") from None
+
+
+@lru_cache(maxsize=None)
+def get_dfg(name: str) -> DFG:
+    """Compile a workload's kernel to its DFG (cached)."""
+    spec = get_workload(name)
+    return compile_kernel(spec.source, name=spec.name,
+                          array_shapes=spec.shape_dict, unroll=spec.unroll)

@@ -1,0 +1,90 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_workloads_listing(capsys):
+    assert main(["workloads"]) == 0
+    out = capsys.readouterr().out
+    assert "gemm_u2" in out and "seidel_u2" in out
+
+
+def test_compile_registered_workload(capsys):
+    assert main(["compile", "--workload", "dwconv"]) == 0
+    out = capsys.readouterr().out
+    assert "dwconv" in out and "motifs" in out
+
+
+def test_compile_dot_output(capsys):
+    assert main(["compile", "--workload", "dwconv", "--dot"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("digraph")
+
+
+def test_compile_kernel_file(tmp_path, capsys):
+    kernel = tmp_path / "k.c"
+    kernel.write_text("""
+    for (i = 0; i < 8; i++) {
+      y[i] = (x[i] + 1) * 3;
+    }
+    """)
+    assert main(["compile", "--file", str(kernel)]) == 0
+    assert "nodes" in capsys.readouterr().out
+
+
+def test_map_workload_on_plaid(capsys):
+    assert main(["map", "--workload", "dwconv", "--arch", "plaid"]) == 0
+    out = capsys.readouterr().out
+    assert "II=" in out and "plaid" in out
+
+
+def test_map_workload_spatial(capsys):
+    assert main(["map", "--workload", "dwconv", "--arch", "spatial"]) == 0
+    assert "phases" in capsys.readouterr().out
+
+
+def test_simulate_verifies(capsys):
+    assert main(["simulate", "--workload", "dwconv", "--arch", "plaid",
+                 "--iterations", "4"]) == 0
+    assert "VERIFIED" in capsys.readouterr().out
+
+
+def test_simulate_spatial(capsys):
+    assert main(["simulate", "--workload", "dwconv", "--arch", "spatial",
+                 "--iterations", "4"]) == 0
+    assert "VERIFIED" in capsys.readouterr().out
+
+
+def test_report_table1(capsys):
+    assert main(["report", "table1"]) == 0
+    assert "landscape" in capsys.readouterr().out
+
+
+def test_report_table2(capsys):
+    assert main(["report", "table2"]) == 0
+    assert "Table 2" in capsys.readouterr().out
+
+
+def test_report_unknown(capsys):
+    assert main(["report", "fig99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_missing_dfg_source_errors(capsys):
+    assert main(["compile"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_shape_parsing(tmp_path, capsys):
+    kernel = tmp_path / "m.c"
+    kernel.write_text("""
+    for (i = 0; i < 4; i++) {
+      for (j = 0; j < 4; j++) {
+        B[i][j] = A[i][j] >> 1;
+      }
+    }
+    """)
+    assert main(["compile", "--file", str(kernel),
+                 "--shape", "A=4x4", "--shape", "B=4x4"]) == 0

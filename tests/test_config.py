@@ -1,0 +1,91 @@
+"""Tests for configuration bitstream generation."""
+
+import pytest
+
+from repro.arch import make_plaid, make_spatio_temporal
+from repro.errors import ConfigError
+from repro.frontend import compile_kernel
+from repro.mapping import PlaidMapper, SimulatedAnnealingMapper
+from repro.sim import encode_mapping
+
+KERNEL = """
+for (i = 0; i < 8; i++) {
+  y[i] = (x[i] + 1) * 3;
+}
+"""
+
+
+def st_mapping():
+    dfg = compile_kernel(KERNEL, name="k")
+    return SimulatedAnnealingMapper(seed=2).map(dfg, make_spatio_temporal())
+
+
+def plaid_mapping():
+    dfg = compile_kernel(KERNEL, name="k")
+    return PlaidMapper(seed=2).map(dfg, make_plaid())
+
+
+def test_entries_cover_ii_slots():
+    mapping = st_mapping()
+    config = encode_mapping(mapping)
+    assert set(config.entries) == set(range(mapping.arch.num_tiles))
+    for rows in config.entries.values():
+        assert len(rows) == mapping.ii
+
+
+def test_ops_present_in_entries():
+    mapping = st_mapping()
+    config = encode_mapping(mapping)
+    op_fields = sum(
+        len(row.ops) for rows in config.entries.values() for row in rows
+    )
+    assert op_fields == len(mapping.placement)
+
+
+def test_plaid_entry_is_120_bits():
+    mapping = plaid_mapping()
+    config = encode_mapping(mapping)
+    assert config.entry_bits == 120
+    assert config.total_bits == 120 * 4 * mapping.ii
+
+
+def test_pack_unpack_roundtrip_st():
+    config = encode_mapping(st_mapping())
+    assert config.unpack(config.pack()) == config.entries
+
+
+def test_pack_unpack_roundtrip_plaid():
+    config = encode_mapping(plaid_mapping())
+    assert config.unpack(config.pack()) == config.entries
+
+
+def test_routing_bits_follow_routes():
+    mapping = plaid_mapping()
+    config = encode_mapping(mapping)
+    routed_resources = {
+        step.resource[1]
+        for route in mapping.routes.values()
+        for step in route.steps if step.kind in ("move", "read")
+    }
+    configured = {
+        name for rows in config.entries.values()
+        for row in rows for name in row.routing
+    }
+    assert configured <= {str(r) for r in routed_resources}
+
+
+def test_activity_between_zero_and_one():
+    config = encode_mapping(st_mapping())
+    assert 0.0 < config.activity() <= 1.0
+
+
+def test_constant_fields_survive_roundtrip():
+    mapping = st_mapping()
+    config = encode_mapping(mapping)
+    decoded = config.unpack(config.pack())
+    # Find the ADD's +1 constant somewhere in the decoded entries.
+    consts = {
+        const for rows in decoded.values() for row in rows
+        for _op, const in row.ops.values()
+    }
+    assert 1 in consts and 3 in consts

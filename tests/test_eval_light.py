@@ -1,0 +1,51 @@
+"""Lightweight tests for the evaluation layer (no full fleet runs)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.eval.harness import build_arch, default_mapper, evaluate_kernel
+from repro.eval.landscape import landscape_table
+from repro.eval.reporting import PAPER_CLAIMS, ClaimResult, render_scorecard
+
+
+def test_landscape_table_rows():
+    table = landscape_table()
+    assert "Spatio-temporal" in table
+    assert "SNAFU" in table and "REVAMP" in table
+
+
+def test_default_mappers():
+    assert default_mapper("plaid") == "plaid"
+    assert default_mapper("plaid3x3") == "plaid"
+    assert default_mapper("spatial") == "spatial"
+    assert default_mapper("st") == "best"
+    assert default_mapper("st-ml") == "best"
+
+
+def test_unknown_arch_key_raises():
+    with pytest.raises(ReproError):
+        build_arch("cray")
+
+
+def test_unknown_mapper_key_raises():
+    with pytest.raises(ReproError):
+        evaluate_kernel("dwconv", "st", "magic")
+
+
+def test_paper_claims_cover_headlines():
+    assert "plaid_vs_st_power" in PAPER_CLAIMS
+    assert len(PAPER_CLAIMS) == 10
+
+
+def test_render_scorecard_with_fixed_results():
+    results = [ClaimResult("demo", paper=1.0, measured=1.05)]
+    text = render_scorecard(results)
+    assert "demo" in text and "yes" in text
+
+
+def test_evaluate_kernel_fields():
+    result = evaluate_kernel("dwconv", "plaid")
+    assert result.workload == "dwconv"
+    assert result.ii >= 1
+    assert result.makespan >= 1
+    assert 0.0 < result.activity.fu_utilization <= 1.0

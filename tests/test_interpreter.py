@@ -1,0 +1,107 @@
+"""Tests for the reference interpreter (golden model)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.ir.builder import DFGBuilder
+from repro.ir.interpreter import DFGInterpreter, MemoryImage
+from repro.ir.ops import Opcode, to_unsigned
+
+
+def test_elementwise_axpy():
+    b = DFGBuilder("axpy", trip_counts=(8,))
+    x = b.load("x", coeffs=(1,))
+    y = b.load("y", coeffs=(1,))
+    ax = b.op(Opcode.MUL, x, const=3)
+    s = b.op(Opcode.ADD, ax, y)
+    b.store("y", s, coeffs=(1,))
+    dfg = b.build()
+
+    memory = MemoryImage({"x": list(range(8)), "y": [10] * 8})
+    DFGInterpreter(dfg).run(memory)
+    assert memory.array("y") == [10 + 3 * i for i in range(8)]
+
+
+def test_register_accumulator_with_init():
+    b = DFGBuilder("sum", trip_counts=(5,))
+    x = b.load("x", coeffs=(1,))
+    acc = b.op(Opcode.ADD, x)
+    b.recurrence(acc, acc, operand_index=1, distance=1)
+    acc.annotations["init"] = 0
+    b.store("out", acc)          # out[0] overwritten every iteration
+    dfg = b.build()
+
+    memory = MemoryImage({"x": [1, 2, 3, 4, 5], "out": [0]})
+    history = DFGInterpreter(dfg).run(memory)
+    assert memory.array("out") == [15]
+    assert history[acc.node_id] == [1, 3, 6, 10, 15]
+
+
+def test_memory_accumulator_2d():
+    # y[i] += x[j] over a 2x3 space: every y[i] gets sum(x).
+    b = DFGBuilder("rowsum", trip_counts=(2, 3))
+    x = b.load("x", coeffs=(0, 1))
+    y = b.load("y", coeffs=(1, 0))
+    s = b.op(Opcode.ADD, x, y)
+    b.store("y", s, coeffs=(1, 0))
+    dfg = b.build()
+
+    memory = MemoryImage({"x": [1, 2, 4], "y": [0, 100]})
+    DFGInterpreter(dfg).run(memory)
+    assert memory.array("y") == [7, 107]
+
+
+def test_sixteen_bit_wraparound():
+    b = DFGBuilder("wrap", trip_counts=(1,))
+    x = b.load("x", coeffs=())
+    s = b.op(Opcode.ADD, x, const=1)
+    b.store("y", s)
+    dfg = b.build()
+    memory = MemoryImage({"x": [0xFFFF], "y": [0]})
+    DFGInterpreter(dfg).run(memory)
+    assert memory.array("y") == [0]
+
+
+def test_out_of_bounds_read_raises():
+    b = DFGBuilder("oob", trip_counts=(4,))
+    x = b.load("x", coeffs=(2,))
+    b.store("y", x, coeffs=(1,))
+    dfg = b.build()
+    memory = MemoryImage({"x": [0, 1], "y": [0] * 4})
+    with pytest.raises(SimulationError):
+        DFGInterpreter(dfg).run(memory)
+
+
+def test_prepare_memory_sizes_arrays():
+    b = DFGBuilder("size", trip_counts=(4, 4))
+    a = b.load("A", coeffs=(4, 1))
+    b.store("B", a, base=2, coeffs=(4, 1))
+    dfg = b.build()
+    memory = DFGInterpreter(dfg).prepare_memory(fill=5)
+    assert len(memory.array("A")) == 16
+    assert len(memory.array("B")) == 18
+    # Fill pattern is nonzero and deterministic.
+    assert memory.array("A")[1] == to_unsigned(5 + 7)
+
+
+def test_store_of_instruction_constant():
+    from repro.ir.graph import DFG
+    from repro.ir.node import AffineAccess
+    dfg = DFG("cstore", loop_dims=1, trip_counts=(3,))
+    dfg.add_node(Opcode.STORE, access=AffineAccess("y", coeffs=(1,)),
+                 const=9)
+    dfg.validate()
+    memory = MemoryImage({"y": [0, 0, 0]})
+    DFGInterpreter(dfg).run(memory)
+    assert memory.array("y") == [9, 9, 9]
+
+
+def test_history_shape():
+    b = DFGBuilder("hist", trip_counts=(3,))
+    x = b.load("x", coeffs=(1,))
+    s = b.op(Opcode.ADD, x, const=1)
+    b.store("y", s, coeffs=(1,))
+    dfg = b.build()
+    memory = MemoryImage({"x": [5, 6, 7], "y": [0] * 3})
+    history = DFGInterpreter(dfg).run(memory, iterations=2)
+    assert all(len(vals) == 2 for vals in history.values())

@@ -1,0 +1,95 @@
+"""Unit tests for the 16-bit operation set."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir.ops import (
+    COMPUTE_OPS, MEMORY_OPS, OP_ARITY, Opcode, WORD_MASK,
+    evaluate, is_compute_op, is_memory_op, to_signed, to_unsigned,
+)
+
+words = st.integers(min_value=0, max_value=WORD_MASK)
+
+
+def test_fifteen_compute_ops_matching_the_paper():
+    assert len(COMPUTE_OPS) == 15
+    assert set(COMPUTE_OPS) | set(MEMORY_OPS) == set(Opcode)
+
+
+def test_compute_memory_partition():
+    for op in Opcode:
+        assert is_compute_op(op) != is_memory_op(op)
+
+
+def test_add_wraps_at_16_bits():
+    assert evaluate(Opcode.ADD, [WORD_MASK, 1]) == 0
+
+
+def test_sub_produces_twos_complement():
+    assert evaluate(Opcode.SUB, [0, 1]) == WORD_MASK
+
+
+def test_mul_wraps():
+    assert evaluate(Opcode.MUL, [0x100, 0x100]) == 0
+
+
+def test_shr_is_arithmetic():
+    minus_four = to_unsigned(-4)
+    assert to_signed(evaluate(Opcode.SHR, [minus_four, 1])) == -2
+
+
+def test_lsr_is_logical():
+    minus_four = to_unsigned(-4)
+    assert evaluate(Opcode.LSR, [minus_four, 1]) == (minus_four >> 1)
+
+
+def test_cmp_signed_less_than():
+    assert evaluate(Opcode.CMP, [to_unsigned(-1), 0]) == 1
+    assert evaluate(Opcode.CMP, [0, to_unsigned(-1)]) == 0
+
+
+def test_sel_picks_by_predicate():
+    assert evaluate(Opcode.SEL, [11, 22, 1]) == 11
+    assert evaluate(Opcode.SEL, [11, 22, 0]) == 22
+
+
+def test_const_fills_missing_operand():
+    assert evaluate(Opcode.ADD, [5], const=3) == 8
+
+
+def test_wrong_arity_rejected():
+    with pytest.raises(ValueError):
+        evaluate(Opcode.ADD, [1])
+    with pytest.raises(ValueError):
+        evaluate(Opcode.LOAD, [])
+
+
+@given(a=words, b=words)
+def test_add_commutes(a, b):
+    assert evaluate(Opcode.ADD, [a, b]) == evaluate(Opcode.ADD, [b, a])
+
+
+@given(a=words, b=words)
+def test_min_max_partition(a, b):
+    lo = evaluate(Opcode.MIN, [a, b])
+    hi = evaluate(Opcode.MAX, [a, b])
+    assert {lo, hi} == {a, b} or (a == b and lo == hi == a)
+
+
+@given(a=words)
+def test_not_is_involution(a):
+    assert evaluate(Opcode.NOT, [evaluate(Opcode.NOT, [a])]) == a
+
+
+@given(a=words)
+def test_signed_unsigned_roundtrip(a):
+    assert to_unsigned(to_signed(a)) == a
+
+
+@given(a=words, b=words)
+def test_abs_of_sub_symmetric(a, b):
+    d1 = evaluate(Opcode.ABS, [evaluate(Opcode.SUB, [a, b])])
+    d2 = evaluate(Opcode.ABS, [evaluate(Opcode.SUB, [b, a])])
+    # |a-b| == |b-a| except at the unrepresentable -32768.
+    if evaluate(Opcode.SUB, [a, b]) != 0x8000:
+        assert d1 == d2

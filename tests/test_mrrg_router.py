@@ -1,0 +1,195 @@
+"""Tests for the MRRG resource accounting and the Dijkstra router."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import MRRG, make_plaid, make_spatio_temporal
+from repro.errors import MappingError
+from repro.mapping.router import min_transport_latency, route_edge
+
+
+# ---------------------------------------------------------------------------
+# MRRG accounting
+# ---------------------------------------------------------------------------
+def test_ii_bounded_by_config_memory():
+    arch = make_spatio_temporal()
+    MRRG(arch, 16)
+    with pytest.raises(MappingError):
+        MRRG(arch, 17)
+    with pytest.raises(MappingError):
+        MRRG(arch, 0)
+
+
+def test_fu_exclusivity_per_modulo_slot():
+    arch = make_spatio_temporal()
+    mrrg = MRRG(arch, 2)
+    mrrg.place_node(0, 5, 0)
+    assert not mrrg.fu_free(5, 2)     # cycle 2 mod 2 == slot 0
+    assert mrrg.fu_free(5, 1)
+    with pytest.raises(MappingError):
+        mrrg.place_node(1, 5, 4)
+    mrrg.unplace_node(0, 5, 0)
+    assert mrrg.fu_free(5, 2)
+
+
+def test_charge_discharge_refcounted():
+    arch = make_spatio_temporal()
+    mrrg = MRRG(arch, 2)
+    resource = ("res", "link[0->1]")
+    mrrg._charge(7, resource, 3)
+    mrrg._charge(7, resource, 3)      # second route of the same net
+    assert mrrg.usage_count(resource, 1) == 1   # shared segment counts once
+    mrrg._discharge(7, resource, 3)
+    assert mrrg.usage_count(resource, 1) == 1   # still referenced
+    mrrg._discharge(7, resource, 3)
+    assert mrrg.usage_count(resource, 1) == 0
+
+
+def test_same_net_different_cycles_counts_twice():
+    """A value alive longer than II overlaps its next-iteration copy."""
+    arch = make_spatio_temporal()
+    mrrg = MRRG(arch, 2)
+    resource = ("place", 0)
+    mrrg._charge(7, resource, 1)
+    mrrg._charge(7, resource, 3)      # same slot (1), different abs cycle
+    assert mrrg.usage_count(resource, 1) == 2
+
+
+def test_overuse_detection():
+    arch = make_spatio_temporal()
+    mrrg = MRRG(arch, 1)
+    resource = ("res", "link[0->1]")   # capacity 1
+    mrrg._charge(1, resource, 0)
+    assert mrrg.is_legal()
+    mrrg._charge(2, resource, 0)
+    violations = mrrg.overuse()
+    assert violations and violations[0][2] == 2
+
+
+def test_step_cost_free_for_shared_segment():
+    arch = make_spatio_temporal()
+    mrrg = MRRG(arch, 2)
+    resource = ("res", "link[0->1]")
+    mrrg._charge(7, resource, 3)
+    assert mrrg.step_cost(7, resource, 3) == 0.0
+    assert mrrg.step_cost(8, resource, 3) > 0.0
+
+
+# ---------------------------------------------------------------------------
+# Transport latency
+# ---------------------------------------------------------------------------
+def test_min_latency_st():
+    arch = make_spatio_temporal()
+    assert min_transport_latency(arch, 5, 5) == 1     # same PE
+    assert min_transport_latency(arch, 5, 6) == 1     # neighbour
+    assert min_transport_latency(arch, 0, 15) == 6    # corner to corner
+
+
+def test_min_latency_plaid():
+    arch = make_plaid()
+    assert min_transport_latency(arch, 0, 2) == 1     # same PCU
+    assert min_transport_latency(arch, 0, 7) == 2     # adjacent PCU
+    assert min_transport_latency(arch, 0, 15) == 3    # diagonal PCU
+
+
+# ---------------------------------------------------------------------------
+# Routing
+# ---------------------------------------------------------------------------
+def test_route_same_tile_next_cycle():
+    arch = make_spatio_temporal()
+    mrrg = MRRG(arch, 4)
+    route = route_edge(mrrg, net=0, src_fu=5, depart_cycle=0,
+                       dst_fu=5, arrive_cycle=1)
+    assert route is not None and not route.bypass
+    assert route.places[-1][1] == 1
+
+
+def test_route_neighbor_one_cycle():
+    arch = make_spatio_temporal()
+    mrrg = MRRG(arch, 4)
+    route = route_edge(mrrg, net=0, src_fu=5, depart_cycle=0,
+                       dst_fu=6, arrive_cycle=1)
+    assert route is not None
+    # Value stays in the producer's RF; the consumer reads across the wire.
+    assert [p for p, _c in route.places] == [5]
+    assert any(step.kind == "read" for step in route.steps)
+
+
+def test_route_too_tight_fails():
+    arch = make_spatio_temporal()
+    mrrg = MRRG(arch, 4)
+    assert route_edge(mrrg, 0, 0, 0, 15, 2) is None   # needs 6 cycles
+    assert route_edge(mrrg, 0, 0, 0, 0, 0) is None    # zero span
+
+
+def test_route_multi_hop_uses_links():
+    arch = make_spatio_temporal()
+    mrrg = MRRG(arch, 8)
+    route = route_edge(mrrg, 0, 0, 0, 15, 6)
+    assert route is not None
+    moves = [s for s in route.steps if s.kind == "move"]
+    assert len(moves) == 5      # 5 moves + final adjacent read = 6 hops
+
+
+def test_route_holds_when_early():
+    arch = make_spatio_temporal()
+    mrrg = MRRG(arch, 8)
+    route = route_edge(mrrg, 0, 5, 0, 5, 4)
+    assert route is not None
+    assert len(route.places) == 4      # occupies rf for 4 cycles
+
+
+def test_plaid_bypass_route_is_free():
+    arch = make_plaid()
+    mrrg = MRRG(arch, 4)
+    route = route_edge(mrrg, 0, 0, 0, 1, 1)    # ALU0 -> ALU1 same PCU
+    assert route is not None and route.bypass
+    assert not route.steps
+
+
+def test_plaid_bypass_needs_exact_timing():
+    arch = make_plaid()
+    mrrg = MRRG(arch, 4)
+    route = route_edge(mrrg, 0, 0, 0, 1, 2)    # two cycles: not a bypass
+    assert route is not None and not route.bypass
+
+
+def test_plaid_cross_pcu_route():
+    arch = make_plaid()
+    mrrg = MRRG(arch, 8)
+    route = route_edge(mrrg, 0, 0, 0, 4, 2)    # PCU0 ALU -> PCU1 ALU
+    assert route is not None
+    resources = {s.resource[1] for s in route.steps if s.kind != "occupy"}
+    assert any("l2g" in str(r) for r in resources)
+
+
+def test_congestion_forces_detour_or_failure():
+    arch = make_spatio_temporal()
+    mrrg = MRRG(arch, 1)
+    # Saturate the direct link 5->6 with another net.
+    mrrg._charge(99, ("res", "link[5->6]"), 0)
+    route = route_edge(mrrg, 0, 5, 0, 6, 1)
+    # Either it fails or it found another way in one cycle (impossible) —
+    # so the router must still return the congested path with high cost or
+    # nothing; committed result must show the overuse.
+    if route is not None:
+        assert not mrrg.is_legal()
+
+
+@settings(deadline=None, max_examples=25)
+@given(src=st.integers(0, 15), dst=st.integers(0, 15),
+       slack=st.integers(0, 4))
+def test_route_arrival_exact_property(src, dst, slack):
+    """Any successful route arrives exactly at the requested cycle and
+    respects the fabric's minimum latency."""
+    arch = make_spatio_temporal()
+    mrrg = MRRG(arch, 8)
+    lat = min_transport_latency(arch, src, dst)
+    arrive = lat + slack
+    route = route_edge(mrrg, 1, src, 0, dst, arrive, commit=False)
+    if route is not None:
+        assert route.arrive_cycle == arrive
+        if route.places:
+            # occupancy chain is contiguous in time
+            cycles = [c for _p, c in route.places]
+            assert cycles == list(range(cycles[0], cycles[-1] + 1))

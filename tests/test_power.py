@@ -1,0 +1,121 @@
+"""Tests for the power/area model against the paper's anchors."""
+
+import pytest
+
+from repro.arch import (
+    make_plaid, make_plaid_ml, make_spatial, make_spatio_temporal, make_st_ml,
+)
+from repro.power import (
+    ActivityFactors, area_table, energy_nj, fabric_area, fabric_power,
+    power_table,
+)
+from repro.power import tech
+from repro.power.model import NOMINAL_ACTIVITY
+
+
+def test_st_power_breakdown_matches_fig2a():
+    report = fabric_power(make_spatio_temporal(), NOMINAL_ACTIVITY)
+    breakdown = report.breakdown()
+    for module, expected in tech.ST_POWER_BREAKDOWN.items():
+        assert breakdown[module] == pytest.approx(expected, abs=0.01)
+
+
+def test_plaid_power_ratio_is_57_percent_at_nominal():
+    st = fabric_power(make_spatio_temporal(), NOMINAL_ACTIVITY)
+    plaid = fabric_power(make_plaid(), NOMINAL_ACTIVITY)
+    assert plaid.total_mw / st.total_mw == pytest.approx(0.57, abs=0.01)
+
+
+def test_plaid_area_matches_paper():
+    area = fabric_area(make_plaid())
+    assert area.fabric_um2 == pytest.approx(33_366, rel=0.001)
+    assert area.spm_um2 == pytest.approx(30_000, rel=0.001)
+    breakdown = area.breakdown()
+    for module, expected in tech.PLAID_AREA_BREAKDOWN.items():
+        assert breakdown[module] == pytest.approx(expected, abs=0.005)
+
+
+def test_st_area_46_percent_larger():
+    st = fabric_area(make_spatio_temporal())
+    plaid = fabric_area(make_plaid())
+    assert plaid.fabric_um2 / st.fabric_um2 == pytest.approx(0.54, abs=0.01)
+
+
+def test_spatial_area_48_percent_saving():
+    spatial = fabric_area(make_spatial())
+    plaid = fabric_area(make_plaid())
+    assert plaid.fabric_um2 / spatial.fabric_um2 == pytest.approx(0.52,
+                                                                  abs=0.01)
+
+
+def test_spatial_power_near_plaid():
+    """Paper: spatial achieves 'almost the same power' as Plaid."""
+    spatial = fabric_power(make_spatial(), NOMINAL_ACTIVITY)
+    plaid = fabric_power(make_plaid(), NOMINAL_ACTIVITY)
+    assert spatial.total_mw / plaid.total_mw == pytest.approx(1.0, abs=0.15)
+
+
+def test_activity_scales_compute_power():
+    arch = make_plaid()
+    idle = fabric_power(arch, ActivityFactors(fu_utilization=0.05))
+    busy = fabric_power(arch, ActivityFactors(fu_utilization=0.6))
+    assert busy.components["compute"] > idle.components["compute"]
+    # Static fraction keeps idle power from collapsing to zero.
+    assert idle.components["compute"] > 0.2 * busy.components["compute"]
+
+
+def test_activity_clamped():
+    arch = make_plaid()
+    absurd = fabric_power(arch, ActivityFactors(fu_utilization=50.0))
+    nominal = fabric_power(arch, NOMINAL_ACTIVITY)
+    hi, _ = tech.ACTIVITY_CLAMP[1], tech.ACTIVITY_CLAMP[0]
+    assert absurd.components["compute"] <= nominal.components["compute"] * hi
+
+
+def test_spatial_config_gating():
+    spatial = fabric_power(make_spatial(), NOMINAL_ACTIVITY)
+    st = fabric_power(make_spatio_temporal(), NOMINAL_ACTIVITY)
+    assert spatial.components["comm_config"] < st.components["comm_config"]
+    assert spatial.components["compute_config"] < st.components["compute_config"]
+
+
+def test_3x3_plaid_scales_with_tiles():
+    small = fabric_power(make_plaid(2, 2), NOMINAL_ACTIVITY)
+    large = fabric_power(make_plaid(3, 3), NOMINAL_ACTIVITY)
+    assert large.total_mw / small.total_mw == pytest.approx(9 / 4, rel=0.01)
+    small_area = fabric_area(make_plaid(2, 2))
+    large_area = fabric_area(make_plaid(3, 3))
+    assert large_area.fabric_um2 / small_area.fabric_um2 \
+        == pytest.approx(9 / 4, rel=0.01)
+
+
+def test_st_ml_cheaper_than_st():
+    st = fabric_power(make_spatio_temporal(), NOMINAL_ACTIVITY)
+    st_ml = fabric_power(make_st_ml(), NOMINAL_ACTIVITY)
+    assert st_ml.total_mw < st.total_mw
+    assert fabric_area(make_st_ml()).fabric_um2 \
+        < fabric_area(make_spatio_temporal()).fabric_um2
+
+
+def test_plaid_ml_cheaper_than_plaid():
+    plaid = fabric_power(make_plaid(), NOMINAL_ACTIVITY)
+    plaid_ml = fabric_power(make_plaid_ml(), NOMINAL_ACTIVITY)
+    assert plaid_ml.total_mw < plaid.total_mw
+    assert plaid_ml.components["local_router"] == 0.0   # hardwired away
+    assert fabric_area(make_plaid_ml()).fabric_um2 \
+        < fabric_area(make_plaid()).fabric_um2
+
+
+def test_energy_is_power_times_time():
+    power = fabric_power(make_plaid(), NOMINAL_ACTIVITY)
+    assert energy_nj(power, 200) == pytest.approx(
+        power.total_mw * 200 * 10.0 * 1e-3)   # 10 ns cycle at 100 MHz
+
+
+def test_tables_render():
+    st = fabric_power(make_spatio_temporal(), NOMINAL_ACTIVITY)
+    plaid = fabric_power(make_plaid(), NOMINAL_ACTIVITY)
+    text = power_table([st, plaid])
+    assert "TOTAL" in text and "plaid-2x2" in text
+    areas = area_table([fabric_area(make_plaid())])
+    assert "fabric" in areas

@@ -1,0 +1,158 @@
+"""Semantic verification of workload kernels against NumPy references.
+
+The interpreter executes each DFG; these tests recompute the kernel's
+mathematical definition independently with NumPy (16-bit wrapped) and
+compare.  This guards the whole frontend path — parsing, unrolling,
+linearization, CSE, reduction commit, reassociation — against silent
+semantic drift.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ir.interpreter import DFGInterpreter, MemoryImage
+from repro.workloads import get_dfg
+
+MASK = 0xFFFF
+
+
+def _fill(shape, seed):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 50, size=shape, dtype=np.int64)
+
+
+def _run(name, arrays):
+    memory = MemoryImage({
+        key: [int(v) & MASK for v in np.asarray(value).ravel()]
+        for key, value in arrays.items()
+    })
+    DFGInterpreter(get_dfg(name)).run(memory)
+    return memory
+
+
+@pytest.mark.parametrize("unroll", [2, 4])
+def test_atax_semantics(unroll):
+    a = _fill((8, 16), 1)
+    x = _fill(16, 2)
+    q = _fill(8, 3)
+    memory = _run(f"atax_u{unroll}", {
+        "A": a, "x": x, "q": q, "tmp": np.zeros(8), "y": np.zeros(16),
+    })
+    tmp_ref = (a @ x) & MASK
+    y_ref = (a.T @ q) & MASK
+    assert memory.array("tmp") == [int(v) for v in tmp_ref]
+    assert memory.array("y") == [int(v) for v in y_ref]
+
+
+@pytest.mark.parametrize("unroll", [2, 4])
+def test_bicg_semantics(unroll):
+    a = _fill((8, 16), 4)
+    r = _fill(8, 5)
+    p = _fill(16, 6)
+    memory = _run(f"bicg_u{unroll}", {
+        "A": a, "r": r, "p": p, "s": np.zeros(16), "q": np.zeros(8),
+    })
+    assert memory.array("s") == [int(v) for v in (a.T @ r) & MASK]
+    assert memory.array("q") == [int(v) for v in (a @ p) & MASK]
+
+
+@pytest.mark.parametrize("unroll", [2, 4])
+def test_gesummv_semantics(unroll):
+    a = _fill((8, 16), 7)
+    b = _fill((8, 16), 8)
+    x = _fill(16, 9)
+    memory = _run(f"gesum_u{unroll}", {
+        "A": a, "B": b, "x": x, "tmp": np.zeros(8), "y": np.zeros(8),
+    })
+    assert memory.array("tmp") == [int(v) for v in (a @ x) & MASK]
+    assert memory.array("y") == [int(v) for v in (2 * (b @ x)) & MASK]
+
+
+def test_conv3x3_semantics():
+    image = _fill((14, 14), 10)
+    weights = _fill((3, 3), 11)
+    memory = _run("conv3x3", {
+        "in": image, "w": weights, "out": np.zeros((12, 12)),
+    })
+    ref = np.zeros((12, 12), dtype=np.int64)
+    for i in range(12):
+        for j in range(12):
+            acc = int((image[i:i + 3, j:j + 3] * weights).sum()) & MASK
+            # >> 4 on the 16-bit signed pattern, then relu.
+            signed = acc - 0x10000 if acc & 0x8000 else acc
+            ref[i, j] = max(signed >> 4, 0) & MASK
+    assert memory.array("out") == [int(v) for v in ref.ravel()]
+
+
+def test_jacobi_semantics():
+    a = _fill((10, 18), 12)
+    memory = _run("jacobi", {"A": a, "B": np.zeros((10, 18))})
+    got = np.array(memory.array("B")).reshape(10, 18)
+    for i in range(8):
+        for j in range(16):
+            expected = int(a[i + 1][j] + a[i + 1][j + 1] + a[i + 1][j + 2]
+                           + a[i][j + 1] + a[i + 2][j + 1]) & MASK
+            signed = expected - 0x10000 if expected & 0x8000 else expected
+            assert got[i + 1][j + 1] == (signed >> 2) & MASK
+
+
+def test_seidel_semantics_sequential_sweep():
+    a = _fill((10, 18), 13)
+    memory = _run("seidel", {"A": a.copy()})
+    ref = a.copy()
+    for i in range(8):
+        for j in range(16):
+            total = int(ref[i:i + 3, j:j + 3].sum()) & MASK
+            signed = total - 0x10000 if total & 0x8000 else total
+            ref[i + 1][j + 1] = (signed >> 3) & MASK
+    assert memory.array("A") == [int(v) for v in ref.ravel()]
+
+
+def test_fdtd_semantics():
+    ey = _fill((8, 16), 14)
+    hx = _fill((8, 16), 15)
+    hz = _fill((9, 17), 16)
+    memory = _run("fdtd_u2", {"ey": ey.copy(), "hx": hx.copy(), "hz": hz})
+    got_ey = np.array(memory.array("ey")).reshape(8, 16)
+    for i in range(8):
+        for j in range(16):
+            diff = int(hz[i][j + 1] - hz[i][j]) & MASK
+            signed = diff - 0x10000 if diff & 0x8000 else diff
+            expected = (int(ey[i][j]) - (signed >> 1)) & MASK
+            assert got_ey[i][j] == expected
+
+
+def test_cholesky_semantics():
+    a = _fill((8, 16), 17)
+    ell = _fill(16, 18)
+    memory = _run("cholesky_u2", {"A": a.copy(), "L": ell})
+    got = np.array(memory.array("A")).reshape(8, 16)
+    for i in range(8):
+        for j in range(16):
+            v = int(a[i][j] - ell[i] * ell[j]) & MASK
+            signed = v - 0x10000 if v & 0x8000 else v
+            assert got[i][j] == (signed >> 1) & MASK
+
+
+def test_dwconv_semantics():
+    image = _fill((4, 15), 19)
+    kernel = _fill((4, 15), 20)
+    memory = _run("dwconv", {"in": image, "k": kernel,
+                             "out": np.zeros((4, 15))})
+    got = np.array(memory.array("out")).reshape(4, 15)
+    for c in range(4):
+        for i in range(15):
+            v = int(image[c][i] * kernel[c][i]) & MASK
+            signed = v - 0x10000 if v & 0x8000 else v
+            assert got[c][i] == max(signed >> 2, 0) & MASK
+
+
+@pytest.mark.parametrize("name", ["dwconv", "dwconv_u5"])
+def test_dwconv_unroll_equivalence(name):
+    image = _fill((4, 15), 21)
+    kernel = _fill((4, 15), 22)
+    memory = _run(name, {"in": image, "k": kernel,
+                         "out": np.zeros((4, 15))})
+    base = _run("dwconv", {"in": image, "k": kernel,
+                           "out": np.zeros((4, 15))})
+    assert memory.array("out") == base.array("out")

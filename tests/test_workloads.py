@@ -1,0 +1,101 @@
+"""Tests for the workload registry: Table 2 inventory and semantics."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.ir.interpreter import DFGInterpreter, MemoryImage
+from repro.workloads import (
+    DNN_APPS, all_workloads, get_dfg, get_workload, workloads_by_domain,
+)
+
+
+def test_thirty_dfgs_total():
+    assert len(all_workloads()) == 30
+
+
+def test_domain_split_matches_paper():
+    assert len(workloads_by_domain("linear-algebra")) == 12
+    assert len(workloads_by_domain("ml")) == 5
+    assert len(workloads_by_domain("image")) == 13
+
+
+def test_unknown_workload_raises():
+    with pytest.raises(WorkloadError):
+        get_workload("nope")
+    with pytest.raises(WorkloadError):
+        workloads_by_domain("nope")
+
+
+def test_every_workload_compiles_and_validates():
+    for spec in all_workloads():
+        dfg = get_dfg(spec.name)
+        dfg.validate()
+        assert dfg.num_nodes > 0
+        assert dfg.iterations > 0
+
+
+def test_paper_rows_recorded_for_all():
+    for spec in all_workloads():
+        assert spec.paper_row is not None and len(spec.paper_row) == 3
+
+
+def test_node_counts_same_order_of_magnitude_as_paper():
+    """Our frontend's DFGs should be comparable in size to Table 2's."""
+    for spec in all_workloads():
+        dfg = get_dfg(spec.name)
+        paper_nodes = spec.paper_row[0]
+        assert 0.45 * paper_nodes <= dfg.num_nodes <= 1.8 * paper_nodes, \
+            spec.name
+
+
+def test_dwconv_u5_unrolls_by_five():
+    assert get_workload("dwconv_u5").unroll == 5
+    dfg = get_dfg("dwconv_u5")
+    assert dfg.trip_counts[-1] == 3      # 15 / 5
+
+
+def test_every_workload_interprets():
+    for spec in all_workloads():
+        dfg = get_dfg(spec.name)
+        memory = DFGInterpreter(dfg).prepare_memory(fill=3)
+        DFGInterpreter(dfg).run(memory, iterations=4)
+
+
+def test_gemm_semantics():
+    dfg = get_dfg("gemm_u2")
+    # C[i][j] += 3 * A[i][k] * B[k][j], 4x16 @ 16x4
+    a = [(i + k) % 7 for i in range(4) for k in range(16)]
+    b = [(k * 2 + j) % 5 for k in range(16) for j in range(4)]
+    memory = MemoryImage({"A": a, "B": b, "C": [0] * 16})
+    DFGInterpreter(dfg).run(memory)
+    expected = []
+    for i in range(4):
+        for j in range(4):
+            acc = 0
+            for k in range(16):
+                acc += a[i * 16 + k] * b[k * 4 + j] * 3
+            expected.append(acc & 0xFFFF)
+    assert memory.array("C") == expected
+
+
+def test_seidel_is_in_place_and_serial():
+    from repro.ir.analysis import recurrence_mii
+    dfg = get_dfg("seidel")
+    assert dfg.arrays_read() & dfg.arrays_written() == {"A"}
+    assert recurrence_mii(dfg) > 3       # memory-carried recurrence
+
+
+def test_dnn_apps_layer_counts():
+    assert [app.num_layers for app in DNN_APPS] == [10, 13, 16]
+
+
+def test_dnn_layers_reference_registered_kernels():
+    names = {spec.name for spec in all_workloads()}
+    for app in DNN_APPS:
+        for layer in app.layers:
+            assert layer.kernel in names
+            assert layer.invocations >= 1
+
+
+def test_dfg_cache_returns_same_object():
+    assert get_dfg("gemm_u2") is get_dfg("gemm_u2")
