@@ -6,9 +6,33 @@ full suite maps every (workload, architecture, mapper) configuration once
 per pytest session; individual benchmarks time their experiment function
 with a single pedantic round (mapping is deterministic — statistical
 repetition would only re-read the memoization cache).
+
+The session starts by warming the headline grid (all Table-2 workloads
+on st/spatial/plaid) through :mod:`repro.eval.parallel`: set
+``REPRO_JOBS=N`` to fan the fleet out over N worker processes, and
+``REPRO_CACHE_DIR=DIR`` to share the evaluations across pytest runs via
+the persistent result store.
 """
 
 import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def warm_fleet(request):
+    """Pre-warm the main workload x architecture grid via the sweep
+    engine (parallel when ``REPRO_JOBS`` asks for it).
+
+    Only worthwhile when several figure benchmarks run: a small
+    selection (``-k one_bench``, or a mixed tests+benchmarks session
+    with one benchmark in it) evaluates just the cells it touches
+    through the per-figure prewarms instead of paying for the fleet."""
+    bench_items = [item for item in request.session.items
+                   if item.fspath.basename.startswith("bench_")]
+    if len(bench_items) < 4:
+        return
+    from repro.eval.parallel import build_grid, prewarm
+
+    prewarm(build_grid())
 
 
 def run_once(benchmark, func):

@@ -10,6 +10,9 @@ Commands:
   against the reference interpreter;
 * ``report``   — print one experiment (``table2``, ``fig2`` .. ``fig19``)
   or the reproduction ``scorecard``;
+* ``sweep``    — evaluate a workload x architecture grid in parallel
+  (``--jobs N``) through the persistent result store (``--cache-dir``,
+  ``--no-cache``), emitting a table, JSON, or CSV;
 * ``workloads`` — list the 30 evaluated DFGs.
 """
 
@@ -143,6 +146,49 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_sweep(args) -> int:
+    from repro.eval import harness, parallel
+    from repro.eval.cache import CACHE_DIR_ENV
+    from repro.eval.reporting import (
+        render_sweep, sweep_to_csv, sweep_to_json,
+    )
+    import os
+
+    if args.no_cache:
+        harness.configure_store(None)
+    else:
+        cache_dir = args.cache_dir \
+            or os.environ.get(CACHE_DIR_ENV, "").strip() \
+            or ".repro-cache"
+        harness.configure_store(cache_dir)
+
+    workloads = None
+    if args.workloads:
+        workloads = [name.strip()
+                     for name in args.workloads.split(",") if name.strip()]
+    cells = parallel.build_grid(workloads=workloads, arch_keys=args.arch,
+                                mapper=args.mapper)
+    jobs = args.jobs if args.jobs is not None else parallel.default_jobs()
+    report = parallel.run_sweep(cells, jobs=jobs,
+                                use_cache=not args.no_cache)
+
+    if args.format == "json":
+        text = sweep_to_json(report)
+    elif args.format == "csv":
+        text = sweep_to_csv(report)
+    else:
+        text = render_sweep(report)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(report.summary())
+    else:
+        print(text)
+        if args.format != "table":
+            print(report.summary(), file=sys.stderr)
+    return 0 if not report.failures else 1
+
+
 def cmd_workloads(_args) -> int:
     from repro.utils.tables import format_table
     from repro.workloads import all_workloads
@@ -195,6 +241,44 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("experiment",
                           help="table1|table2|fig2|fig12..fig19|scorecard")
     p_report.set_defaults(func=cmd_report)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="evaluate a workload x architecture grid (parallel + cached)",
+        description=(
+            "Evaluate every (workload, architecture, mapper) cell of a "
+            "grid.  Cells fan out over --jobs worker processes; results "
+            "are cached in a persistent store keyed by a stable "
+            "fingerprint of the configuration, so warm reruns evaluate "
+            "nothing.  Per-cell mapping failures are reported in the "
+            "output without aborting the sweep (exit status 1 flags "
+            "them).  Metrics are identical for any --jobs value."
+        ))
+    p_sweep.add_argument("--workloads",
+                         help="comma-separated workload names (default: "
+                              "all 30 Table-2 workloads)")
+    p_sweep.add_argument("--arch", action="append",
+                         choices=["st", "spatial", "plaid", "plaid3x3",
+                                  "st-ml", "plaid-ml"],
+                         help="architecture key, repeatable (default: "
+                              "st spatial plaid)")
+    p_sweep.add_argument("--mapper",
+                         choices=["plaid", "pathfinder", "sa", "best",
+                                  "spatial"],
+                         help="force one mapper for every cell (default: "
+                              "each architecture's paper mapper)")
+    p_sweep.add_argument("--jobs", type=int, default=None,
+                         help="worker processes (default: $REPRO_JOBS or 1)")
+    p_sweep.add_argument("--no-cache", action="store_true",
+                         help="bypass the persistent result store")
+    p_sweep.add_argument("--cache-dir", metavar="DIR",
+                         help="result store directory (default: "
+                              "$REPRO_CACHE_DIR or .repro-cache)")
+    p_sweep.add_argument("--format", choices=["table", "json", "csv"],
+                         default="table")
+    p_sweep.add_argument("--output", metavar="FILE",
+                         help="write results to FILE instead of stdout")
+    p_sweep.set_defaults(func=cmd_sweep)
 
     p_wl = sub.add_parser("workloads", help="list evaluated workloads")
     p_wl.set_defaults(func=cmd_workloads)

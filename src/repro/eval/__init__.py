@@ -1,6 +1,9 @@
 """Evaluation harness: regenerates every table and figure of the paper.
 
 :mod:`repro.eval.harness` owns the cached map→simulate→power pipeline;
+:mod:`repro.eval.cache` the persistent, fingerprint-keyed result store
+shared across processes and runs; :mod:`repro.eval.parallel` the sweep
+engine that fans the evaluation grid over worker processes;
 :mod:`repro.eval.experiments` exposes one function per table/figure that
 returns structured results (and renders the same rows/series the paper
 reports); :mod:`repro.eval.landscape` reproduces the qualitative Table 1.
@@ -10,18 +13,27 @@ from repro.eval.harness import (
     ARCH_KEYS,
     KernelResult,
     build_arch,
+    configure_store,
     evaluate_kernel,
     clear_caches,
 )
+from repro.eval.cache import ResultStore
+from repro.eval.parallel import SweepCell, SweepReport, build_grid, run_sweep
 from repro.eval import experiments
 from repro.eval.landscape import landscape_table
 
 __all__ = [
     "ARCH_KEYS",
     "KernelResult",
+    "ResultStore",
+    "SweepCell",
+    "SweepReport",
     "build_arch",
+    "build_grid",
     "clear_caches",
+    "configure_store",
     "evaluate_kernel",
     "experiments",
     "landscape_table",
+    "run_sweep",
 ]

@@ -1,0 +1,369 @@
+"""Persistent, process-shared store for kernel evaluation results.
+
+The evaluation harness memoizes :class:`~repro.eval.harness.KernelResult`
+per process; this module adds the durable layer underneath it: a
+directory of JSON entries, one per (workload, architecture, mapper, seed)
+configuration, shared by every process of a sweep and across runs.
+
+Design points:
+
+* **Fingerprint keys.**  Entries are keyed by a SHA-256 digest over the
+  *configuration that determines the result*: the workload's source text,
+  array shapes and unroll factor, a structural signature of the
+  architecture instance (FUs, places, moves, bypass pairs, params), the
+  mapper key, and the mapper seed.  Changing any of these — e.g. editing
+  a kernel, resizing a fabric, retuning ``config_entries`` — changes the
+  fingerprint, so stale numbers can never be served for a new config.
+* **Schema versioning.**  Every entry records ``SCHEMA_VERSION``.  When
+  the serialized shape of :class:`KernelResult` changes, bump the
+  constant: old entries are treated as misses and removed on contact.
+* **Corruption tolerance.**  A truncated or hand-edited entry is a miss,
+  not a crash; the offending file is deleted so the slot heals itself.
+* **Atomic writes.**  Entries are written to a temp file and
+  ``os.replace``d into place, so concurrent sweep workers never observe
+  half-written JSON.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:   # pragma: no cover - import cycle guard (harness imports us)
+    from repro.arch.base import Architecture
+    from repro.eval.harness import KernelResult
+    from repro.workloads.registry import WorkloadSpec
+
+#: Bump on any change that alters what a cache entry means: the
+#: serialized shape of :class:`KernelResult`, or *metric-affecting
+#: behavior* (mapper cost functions, power/area tables, seeding).  The
+#: version is part of the fingerprint, so a bump orphans every stale
+#: entry — without it a warm store would silently serve pre-change
+#: numbers that the (storeless) test suite no longer validates.
+SCHEMA_VERSION = 1
+
+#: Environment variable naming the default store directory.  Unset (the
+#: default for tests and library use) means "no persistent store".
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+# ---------------------------------------------------------------------------
+# Fingerprinting
+# ---------------------------------------------------------------------------
+def _encode(value) -> object:
+    """Deterministic, JSON-serializable encoding of a config value."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, enum.Enum):
+        return f"{type(value).__name__}.{value.name}"
+    if isinstance(value, (list, tuple)):
+        return [_encode(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted((_encode(item) for item in value), key=repr)
+    if isinstance(value, dict):
+        return sorted(([repr(key), _encode(item)]
+                       for key, item in value.items()), key=repr)
+    if dataclasses.is_dataclass(value):
+        return [type(value).__name__] + [
+            _encode(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        ]
+    return repr(value)
+
+
+def arch_signature(arch: "Architecture") -> dict:
+    """A JSON-stable structural summary of an architecture instance.
+
+    Walks *every* dataclass field — the resource graph (FUs, places,
+    moves, produce/consume wiring), bypass pairs, resource capacities,
+    SPM geometry, configuration depth, and the free-form ``params``
+    dict — so any edit the mapper or power model can observe changes
+    the fingerprint.  New :class:`Architecture` fields are covered
+    automatically.
+    """
+    return {f.name: _encode(getattr(arch, f.name))
+            for f in dataclasses.fields(arch)}
+
+
+def workload_signature(spec: "WorkloadSpec") -> dict:
+    """The part of a workload spec that determines its DFG."""
+    return {
+        "name": spec.name,
+        "kernel": spec.kernel,
+        "source": spec.source,
+        "shapes": [[name, list(dims)] for name, dims in spec.shapes],
+        "unroll": spec.unroll,
+    }
+
+
+def fingerprint(spec: "WorkloadSpec", arch: "Architecture",
+                mapper_key: str, seed: int) -> str:
+    """Stable hex digest identifying one evaluation configuration."""
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "workload": workload_signature(spec),
+        "arch": arch_signature(arch),
+        "mapper": mapper_key,
+        "seed": seed,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# KernelResult (de)serialization
+# ---------------------------------------------------------------------------
+def result_to_dict(result: "KernelResult") -> dict:
+    """Plain-JSON representation of a :class:`KernelResult`."""
+    return {
+        "workload": result.workload,
+        "arch_key": result.arch_key,
+        "mapper": result.mapper,
+        "ii": result.ii,
+        "cycles": result.cycles,
+        "makespan": result.makespan,
+        "activity": {
+            "fu_utilization": result.activity.fu_utilization,
+            "wire_utilization": result.activity.wire_utilization,
+            "config_activity": result.activity.config_activity,
+        },
+        "power": {
+            "arch_name": result.power.arch_name,
+            "components": dict(result.power.components),
+        },
+        "area": {
+            "arch_name": result.area.arch_name,
+            "components": dict(result.area.components),
+            "spm_um2": result.area.spm_um2,
+        },
+        "energy": result.energy,
+    }
+
+
+def result_from_dict(data: dict) -> "KernelResult":
+    """Rebuild a :class:`KernelResult` from :func:`result_to_dict` output.
+
+    Raises ``KeyError``/``TypeError`` on malformed payloads; the store
+    treats those as corruption.
+    """
+    from repro.eval.harness import KernelResult
+    from repro.power.model import ActivityFactors, AreaReport, PowerReport
+
+    return KernelResult(
+        workload=data["workload"],
+        arch_key=data["arch_key"],
+        mapper=data["mapper"],
+        ii=int(data["ii"]),
+        cycles=int(data["cycles"]),
+        makespan=int(data["makespan"]),
+        activity=ActivityFactors(
+            fu_utilization=float(data["activity"]["fu_utilization"]),
+            wire_utilization=float(data["activity"]["wire_utilization"]),
+            config_activity=float(data["activity"]["config_activity"]),
+        ),
+        power=PowerReport(
+            arch_name=data["power"]["arch_name"],
+            components={str(k): float(v)
+                        for k, v in data["power"]["components"].items()},
+        ),
+        area=AreaReport(
+            arch_name=data["area"]["arch_name"],
+            components={str(k): float(v)
+                        for k, v in data["area"]["components"].items()},
+            spm_um2=float(data["area"]["spm_um2"]),
+        ),
+        energy=float(data["energy"]),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Cached failures
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class CachedFailure:
+    """A persisted deterministic failure (mapping is seeded, so a
+    configuration that cannot map fails identically every time — no
+    point re-running the doomed attempt in every process)."""
+
+    error_type: str
+    message: str
+
+    def to_error(self):
+        from repro import errors
+
+        error_cls = getattr(errors, self.error_type, None)
+        if not (isinstance(error_cls, type)
+                and issubclass(error_cls, errors.ReproError)):
+            error_cls = errors.ReproError
+        return error_cls(self.message)
+
+
+# ---------------------------------------------------------------------------
+# The store
+# ---------------------------------------------------------------------------
+@dataclass
+class StoreStats:
+    """Hit/miss accounting for one :class:`ResultStore` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    write_errors: int = 0
+    corrupt: int = 0
+    stale: int = 0
+
+    def as_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "writes": self.writes, "write_errors": self.write_errors,
+                "corrupt": self.corrupt, "stale": self.stale}
+
+
+@dataclass
+class ResultStore:
+    """Disk-backed map from fingerprint to :class:`KernelResult`."""
+
+    root: Path
+    schema_version: int = SCHEMA_VERSION
+    stats: StoreStats = field(default_factory=StoreStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- paths ----------------------------------------------------------
+    def _entry_path(self, fp: str) -> Path:
+        return self.root / f"{fp}.json"
+
+    # -- read -----------------------------------------------------------
+    def get(self, fp: str) -> "KernelResult | CachedFailure | None":
+        """The stored result (or recorded failure) for ``fp``;
+        ``None`` on miss.
+
+        Corrupt and schema-stale entries are deleted and reported as
+        misses — a damaged cache degrades to recomputation, never to a
+        crash or a wrong number.
+        """
+        path = self._entry_path(fp)
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except OSError:
+            self.stats.misses += 1
+            return None
+        except UnicodeDecodeError:     # binary garbage in the entry
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            self._discard(path)
+            return None
+        try:
+            entry = json.loads(raw)
+            if not isinstance(entry, dict):
+                raise ValueError("entry is not an object")
+            if entry.get("schema") != self.schema_version:
+                self.stats.stale += 1
+                self.stats.misses += 1
+                self._discard(path)
+                return None
+            if "failure" in entry:
+                result = CachedFailure(
+                    error_type=str(entry["failure"]["type"]),
+                    message=str(entry["failure"]["message"]),
+                )
+            else:
+                result = result_from_dict(entry["result"])
+        except (ValueError, KeyError, TypeError):
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            self._discard(path)
+            return None
+        self.stats.hits += 1
+        return result
+
+    def __contains__(self, fp: str) -> bool:
+        return self._entry_path(fp).exists()
+
+    def _entries(self) -> Iterator[Path]:
+        # Path.glob("*.json") also matches dot-prefixed names, so filter
+        # out ".tmp-*" files a killed writer may have left behind.
+        for path in sorted(self.root.glob("*.json")):
+            if not path.name.startswith("."):
+                yield path
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._entries())
+
+    def fingerprints(self) -> Iterator[str]:
+        for path in self._entries():
+            yield path.stem
+
+    # -- write ----------------------------------------------------------
+    def put(self, fp: str, result: "KernelResult") -> None:
+        """Persist ``result`` under ``fp`` (atomic, last-writer-wins).
+
+        Best-effort: an unwritable or full cache directory must not
+        abort the evaluation that produced the result, so write
+        failures are counted (``stats.write_errors``) and swallowed.
+        """
+        self._write_entry(fp, {"result": result_to_dict(result)})
+
+    def put_failure(self, fp: str, error: Exception) -> None:
+        """Persist a deterministic failure under ``fp`` (best-effort)."""
+        self._write_entry(fp, {"failure": {
+            "type": type(error).__name__,
+            "message": str(error),
+        }})
+
+    def _write_entry(self, fp: str, body: dict) -> None:
+        entry = {
+            "schema": self.schema_version,
+            "fingerprint": fp,
+            **body,
+        }
+        # No sort_keys: the component dicts must keep their insertion
+        # order, because derived sums (total_mw, fabric_um2) accumulate
+        # in iteration order and float addition is not associative — a
+        # reordered cache entry would differ from a fresh evaluation in
+        # the last ULP.
+        payload = json.dumps(entry, indent=0)
+        tmp_name = None
+        try:
+            handle, tmp_name = tempfile.mkstemp(
+                dir=self.root, prefix=".tmp-", suffix=".json")
+            with os.fdopen(handle, "w", encoding="utf-8") as tmp:
+                tmp.write(payload)
+            os.replace(tmp_name, self._entry_path(fp))
+        except OSError:
+            if tmp_name is not None:
+                self._discard(Path(tmp_name))
+            self.stats.write_errors += 1
+            return
+        self.stats.writes += 1
+
+    def clear(self) -> int:
+        """Delete every entry (and stray temp files); returns the
+        number of entries removed."""
+        removed = 0
+        for path in self.root.glob("*.json"):
+            self._discard(path)
+            if not path.name.startswith("."):
+                removed += 1
+        return removed
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass    # a concurrent worker already replaced or removed it
+
+
+def default_store() -> ResultStore | None:
+    """Store named by ``$REPRO_CACHE_DIR``, or ``None`` when unset/empty."""
+    root = os.environ.get(CACHE_DIR_ENV, "").strip()
+    return ResultStore(Path(root)) if root else None

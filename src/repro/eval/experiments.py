@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.eval.harness import build_arch, evaluate_kernel
+from repro.eval.parallel import build_grid, prewarm
 from repro.ir.analysis import recurrence_mii
 from repro.mapping.mii import resource_mii
 from repro.motifs.generation import generate_motifs
@@ -35,6 +36,20 @@ def _geomean(values: list[float]) -> float:
 
 def _mean(values: list[float]) -> float:
     return sum(values) / len(values) if values else 0.0
+
+
+def _warm(arch_keys: tuple[str, ...], workloads: list[str] | None = None,
+          mapper: str | None = None) -> None:
+    """Pre-warm a grid through the sweep engine before the serial reads.
+
+    With ``$REPRO_JOBS`` > 1 the cells fan out over worker processes
+    (and through the persistent store when one is active); the figure
+    code below then reads everything from the in-process memo.  Per-cell
+    mapping failures are captured by the sweep and simply surface again
+    when the figure actually asks for that cell.
+    """
+    prewarm(build_grid(workloads=workloads, arch_keys=list(arch_keys),
+                       mapper=mapper))
 
 
 # ---------------------------------------------------------------------------
@@ -102,6 +117,7 @@ class Fig2Result:
 def _fleet_activity(arch_key: str) -> ActivityFactors:
     """Average measured activity of every workload on one fabric."""
     fu, wires = [], []
+    _warm((arch_key,))
     for spec in all_workloads():
         result = evaluate_kernel(spec.name, arch_key)
         fu.append(result.activity.fu_utilization)
@@ -163,6 +179,7 @@ class ComparisonResult:
 def _comparison(metric: str, extract, higher_is_better=False
                 ) -> ComparisonResult:
     rows = []
+    _warm(("st", "spatial", "plaid"))
     for spec in all_workloads():
         st = extract(evaluate_kernel(spec.name, "st"))
         spatial = extract(evaluate_kernel(spec.name, "spatial"))
@@ -241,6 +258,9 @@ class Fig16Result:
 
 def fig16() -> Fig16Result:
     rows = []
+    kernels = sorted({layer.kernel for app in DNN_APPS
+                      for layer in app.layers})
+    _warm(("spatial", "plaid"), workloads=kernels)
     for app in DNN_APPS:
         totals = {"spatial": {"cycles": 0.0, "energy": 0.0},
                   "plaid": {"cycles": 0.0, "energy": 0.0}}
@@ -300,16 +320,20 @@ class Fig17Result:
 def fig17() -> Fig17Result:
     rows = []
     excluded = []
+    scaled = []
     for spec in all_workloads():
         dfg = get_dfg(spec.name)
         # The paper excludes DFGs the larger array cannot enhance due to
         # inter-iteration dependencies: RecMII already dominates ResMII.
         if recurrence_mii(dfg) >= resource_mii(dfg, build_arch("plaid")):
             excluded.append(spec.name)
-            continue
-        small = evaluate_kernel(spec.name, "plaid")
-        large = evaluate_kernel(spec.name, "plaid3x3")
-        rows.append(Fig17Row(spec.name, small.cycles, large.cycles))
+        else:
+            scaled.append(spec.name)
+    _warm(("plaid", "plaid3x3"), workloads=scaled)
+    for name in scaled:
+        small = evaluate_kernel(name, "plaid")
+        large = evaluate_kernel(name, "plaid3x3")
+        rows.append(Fig17Row(name, small.cycles, large.cycles))
     return Fig17Result(rows, excluded)
 
 
@@ -350,6 +374,8 @@ def fig18() -> Fig18Result:
     from repro.errors import MappingError
     rows = []
     failures: dict[str, list[str]] = {}
+    for mapper_key in ("plaid", "pathfinder", "sa"):
+        _warm(("plaid",), mapper=mapper_key)
     for spec in all_workloads():
         plaid = evaluate_kernel(spec.name, "plaid", "plaid")
         ratios = {}
@@ -390,6 +416,8 @@ def fig19() -> Fig19Result:
     arch_keys = ("st", "st-ml", "plaid", "plaid-ml")
     energy = {key: 0.0 for key in arch_keys}
     cycles = {key: 0.0 for key in arch_keys}
+    _warm(arch_keys,
+          workloads=[spec.name for spec in workloads_by_domain("ml")])
     for spec in workloads_by_domain("ml"):
         for key in arch_keys:
             result = evaluate_kernel(spec.name, key)

@@ -3,17 +3,24 @@
 ``evaluate_kernel(workload, arch_key, mapper_key)`` maps the workload,
 derives cycles over the full iteration space (performance is deterministic
 at compile time, as the paper notes), extracts activity statistics, and
-prices power/energy/area.  Results are memoized so every benchmark and
-experiment shares one evaluation per configuration.
+prices power/energy/area.  Results are memoized per process and — when a
+persistent store is active (``configure_store`` or ``$REPRO_CACHE_DIR``)
+— shared across processes and runs through
+:class:`repro.eval.cache.ResultStore`, so every benchmark, experiment and
+sweep worker pays for each configuration exactly once.
 
 Baseline methodology follows the paper: the spatio-temporal baselines are
 mapped with both PathFinder and simulated annealing and the better result
 is kept ("We use two mappers for these baselines and select the one with
-higher performance").
+higher performance").  Mapper seeds come from a *stable* digest of the
+configuration (not the per-process-salted builtin ``hash``), so results
+are bit-identical across processes — the property the persistent store
+and the parallel sweep engine rely on.
 """
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from functools import lru_cache
 
@@ -23,6 +30,7 @@ from repro.arch.spatial import make_spatial
 from repro.arch.spatio_temporal import make_spatio_temporal
 from repro.arch.specialize import make_plaid_ml, make_st_ml
 from repro.errors import MappingError, ReproError
+from repro.eval import cache as result_cache
 from repro.mapping.annealing import SimulatedAnnealingMapper
 from repro.mapping.pathfinder import PathFinderMapper
 from repro.mapping.plaid_mapper import PlaidMapper
@@ -77,11 +85,20 @@ class KernelResult:
 
 
 def _seed_for(workload: str, arch_key: str, mapper_key: str) -> int:
-    return (hash((workload, arch_key, mapper_key)) & 0x7FFFFFFF) or 1
+    """Stable mapper seed for one configuration.
+
+    Deliberately *not* the builtin ``hash``: string hashing is salted per
+    process (``PYTHONHASHSEED``), which would give every run and every
+    sweep worker a different seed and make results uncacheable.  CRC-32
+    of the key string is identical everywhere, forever.
+    """
+    key = f"{workload}\x1f{arch_key}\x1f{mapper_key}"
+    return (zlib.crc32(key.encode("utf-8")) & 0x7FFFFFFF) or 1
 
 
-def _map_temporal(dfg, arch, mapper_key: str, seed: int):
+def _map_temporal(dfg, arch, mapper_key: str, workload: str, arch_key: str):
     """Map on a time-extended fabric with the requested mapper."""
+    seed = _seed_for(workload, arch_key, mapper_key)
     if mapper_key == "pathfinder":
         return PathFinderMapper(seed=seed).map(dfg, arch)
     if mapper_key == "sa":
@@ -89,13 +106,14 @@ def _map_temporal(dfg, arch, mapper_key: str, seed: int):
     if mapper_key == "plaid":
         return PlaidMapper(seed=seed).map(dfg, arch)
     if mapper_key == "best":
+        # Each candidate runs with the seed its standalone evaluation
+        # would use, so "best" is exactly min over the individual mapper
+        # results (and never worse than either of them).
         best = None
-        for factory in (
-            lambda: PathFinderMapper(seed=seed).map(dfg, arch),
-            lambda: SimulatedAnnealingMapper(seed=seed).map(dfg, arch),
-        ):
+        for candidate in ("pathfinder", "sa"):
             try:
-                mapping = factory()
+                mapping = _map_temporal(dfg, arch, candidate,
+                                        workload, arch_key)
             except MappingError:
                 continue
             if best is None or mapping.total_cycles() < best.total_cycles():
@@ -117,24 +135,139 @@ def default_mapper(arch_key: str) -> str:
     return "best"
 
 
-@lru_cache(maxsize=None)
+@dataclass
+class EvalStats:
+    """Where results came from this process (sweeps report these)."""
+
+    computed: int = 0           # full map+price evaluations run here
+    memo_hits: int = 0          # served from the in-process memo
+    store_hits: int = 0         # served from the persistent store
+
+    def reset(self) -> None:
+        self.computed = self.memo_hits = self.store_hits = 0
+
+
+#: In-process memo: (workload, arch_key, resolved mapper_key) -> result.
+_MEMO: dict[tuple[str, str, str], KernelResult] = {}
+
+#: Deterministic failures (mapping is seeded, so a failing configuration
+#: fails identically every time) — memoized so sweeps and figures don't
+#: re-run doomed mapping attempts.
+_FAILED: dict[tuple[str, str, str], ReproError] = {}
+
+#: Persistent layer; ``None`` with ``_STORE_RESOLVED`` means "disabled".
+_STORE: result_cache.ResultStore | None = None
+_STORE_RESOLVED = False
+
+EVAL_STATS = EvalStats()
+
+
+def configure_store(store: result_cache.ResultStore | str | None
+                    ) -> result_cache.ResultStore | None:
+    """Install the persistent result store (``None`` disables it).
+
+    Accepts a ready :class:`ResultStore` or a directory path.  An
+    explicit setting — including the explicit ``None`` — overrides the
+    ``$REPRO_CACHE_DIR`` environment default until :func:`clear_caches`.
+    """
+    global _STORE, _STORE_RESOLVED
+    if isinstance(store, (str, bytes)) or hasattr(store, "__fspath__"):
+        store = result_cache.ResultStore(store)
+    _STORE = store
+    _STORE_RESOLVED = True
+    return _STORE
+
+
+def active_store() -> result_cache.ResultStore | None:
+    """The persistent store in effect (explicit beats environment)."""
+    global _STORE, _STORE_RESOLVED
+    if not _STORE_RESOLVED:
+        _STORE = result_cache.default_store()
+        _STORE_RESOLVED = True
+    return _STORE
+
+
+def resolve_mapper(arch_key: str, mapper_key: str | None) -> str:
+    """Canonical mapper key (``None`` -> the paper's default)."""
+    return mapper_key or default_mapper(arch_key)
+
+
+def evaluation_fingerprint(workload: str, arch_key: str,
+                           mapper_key: str | None = None) -> str:
+    """Persistent-store key for one configuration."""
+    mapper_key = resolve_mapper(arch_key, mapper_key)
+    seed = _seed_for(workload, arch_key, mapper_key)
+    return result_cache.fingerprint(
+        get_workload(workload), build_arch(arch_key), mapper_key, seed)
+
+
 def evaluate_kernel(workload: str, arch_key: str,
-                    mapper_key: str | None = None) -> KernelResult:
-    """Map + price one workload on one architecture (memoized)."""
-    spec = get_workload(workload)
+                    mapper_key: str | None = None, *,
+                    use_store: bool = True) -> KernelResult:
+    """Map + price one workload on one architecture.
+
+    Lookup order: in-process memo, then the persistent store (when one
+    is active and ``use_store`` holds), then a full evaluation — which
+    is written back to every enabled layer.  Identical calls in one
+    process return the same object.  ``use_store=False`` (the sweep
+    engine's ``--no-cache``) bypasses the persistent store both ways
+    while keeping in-process memoization.
+    """
+    mapper_key = resolve_mapper(arch_key, mapper_key)
+    key = (workload, arch_key, mapper_key)
+    cached = _MEMO.get(key)
+    if cached is not None:
+        EVAL_STATS.memo_hits += 1
+        return cached
+    failed = _FAILED.get(key)
+    if failed is not None:
+        EVAL_STATS.memo_hits += 1
+        raise failed
+
+    store = active_store() if use_store else None
+    fp = None
+    if store is not None:
+        fp = evaluation_fingerprint(workload, arch_key, mapper_key)
+        stored = store.get(fp)
+        if isinstance(stored, result_cache.CachedFailure):
+            error = stored.to_error()
+            EVAL_STATS.store_hits += 1
+            _FAILED[key] = error
+            raise error
+        if stored is not None:
+            EVAL_STATS.store_hits += 1
+            _MEMO[key] = stored
+            return stored
+
+    try:
+        result = _evaluate_uncached(workload, arch_key, mapper_key)
+    except ReproError as error:
+        _FAILED[key] = error
+        if store is not None and fp is not None:
+            store.put_failure(fp, error)
+        raise
+    EVAL_STATS.computed += 1
+    _MEMO[key] = result
+    if store is not None and fp is not None:
+        store.put(fp, result)
+    return result
+
+
+def _evaluate_uncached(workload: str, arch_key: str,
+                       mapper_key: str) -> KernelResult:
+    """The actual pipeline: map, derive cycles, price power/energy/area."""
     dfg = get_dfg(workload)
     arch = build_arch(arch_key)
-    mapper_key = mapper_key or default_mapper(arch_key)
-    seed = _seed_for(workload, arch_key, mapper_key)
 
     if mapper_key == "spatial":
+        seed = _seed_for(workload, arch_key, mapper_key)
         mapping = SpatialMapper(seed=seed).map(dfg, arch)
         cycles = mapping.total_cycles()
         ii = mapping.ii_sum
         makespan = max((phase.depth for phase in mapping.phases), default=0)
         activity = activity_from_spatial(mapping)
     else:
-        mapping = _map_temporal(dfg, arch, mapper_key, seed)
+        mapping = _map_temporal(dfg, arch, mapper_key, workload, arch_key)
         cycles = mapping.total_cycles()
         ii = mapping.ii
         makespan = mapping.makespan
@@ -156,7 +289,42 @@ def evaluate_kernel(workload: str, arch_key: str,
     )
 
 
+def seed_memo(result: KernelResult) -> None:
+    """Install an externally computed result (sweep workers hand results
+    back to the parent through this)."""
+    _MEMO[(result.workload, result.arch_key, result.mapper)] = result
+
+
+def seed_failure(workload: str, arch_key: str, mapper_key: str,
+                 error: ReproError) -> None:
+    """Record a deterministic failure observed in a sweep worker."""
+    _FAILED[(workload, arch_key, mapper_key)] = error
+
+
+def failure_for(workload: str, arch_key: str,
+                mapper_key: str | None = None) -> ReproError | None:
+    """The memoized failure for this configuration, if any."""
+    return _FAILED.get((workload, arch_key,
+                        resolve_mapper(arch_key, mapper_key)))
+
+
+def memo_contains(workload: str, arch_key: str,
+                  mapper_key: str | None = None) -> bool:
+    """Whether the in-process memo already holds this configuration."""
+    return (workload, arch_key,
+            resolve_mapper(arch_key, mapper_key)) in _MEMO
+
+
 def clear_caches() -> None:
-    """Drop memoized evaluations (tests that tweak parameters use this)."""
-    evaluate_kernel.cache_clear()
+    """Drop memoized evaluations (tests that tweak parameters use this).
+
+    Also detaches any configured persistent store so tests can't leak a
+    tmpdir store into each other.
+    """
+    global _STORE, _STORE_RESOLVED
+    _MEMO.clear()
+    _FAILED.clear()
+    _STORE = None
+    _STORE_RESOLVED = False
+    EVAL_STATS.reset()
     build_arch.cache_clear()

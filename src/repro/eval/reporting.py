@@ -96,6 +96,70 @@ def render_scorecard(results: list[ClaimResult] | None = None) -> str:
     )
 
 
+# ---------------------------------------------------------------------------
+# Sweep export (the `repro sweep` subcommand's output formats)
+# ---------------------------------------------------------------------------
+SWEEP_HEADERS = ["workload", "arch", "mapper", "status", "ii", "cycles",
+                 "makespan", "energy_nj", "power_mw", "area_um2",
+                 "perf_per_area", "cached", "error"]
+
+
+def sweep_rows(report) -> list[list[object]]:
+    """One row per sweep cell, in grid order (see ``SWEEP_HEADERS``)."""
+    rows = []
+    for outcome in report.outcomes:
+        cell = outcome.cell
+        if outcome.ok:
+            r = outcome.result
+            rows.append([cell.workload, cell.arch_key, cell.mapper, "ok",
+                         r.ii, r.cycles, r.makespan, r.energy,
+                         r.power.total_mw, r.area.fabric_um2,
+                         r.perf_per_area, outcome.from_cache, ""])
+        else:
+            rows.append([cell.workload, cell.arch_key, cell.mapper,
+                         "error", "", "", "", "", "", "", "", False,
+                         f"{outcome.error_type}: {outcome.error}"])
+    return rows
+
+
+def render_sweep(report) -> str:
+    """Sweep outcomes as a text table plus the run summary."""
+    table = format_table(SWEEP_HEADERS, sweep_rows(report),
+                        title="Sweep results")
+    return f"{table}\n{report.summary()}"
+
+
+def sweep_to_json(report) -> str:
+    """Machine-readable sweep record (cells + summary + cache stats)."""
+    import json
+
+    cells = [dict(zip(SWEEP_HEADERS, row)) for row in sweep_rows(report)]
+    return json.dumps({
+        "cells": cells,
+        "summary": {
+            "total": len(report.outcomes),
+            "evaluated": report.evaluated,
+            "cached": report.cached,
+            "failed": len(report.failures),
+            "jobs": report.jobs,
+            "seconds": report.seconds,
+        },
+        "store": report.store_stats,
+    }, indent=2, sort_keys=True)
+
+
+def sweep_to_csv(report) -> str:
+    """Sweep outcomes as CSV with a header row."""
+    import csv
+    import io
+
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(SWEEP_HEADERS)
+    writer.writerows(sweep_rows(report))
+    return buffer.getvalue()
+
+
 def to_markdown_table(headers: list[str], rows: list[list[object]]) -> str:
     """Render rows as a GitHub-flavoured Markdown table."""
     def fmt(value: object) -> str:

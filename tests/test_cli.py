@@ -72,6 +72,68 @@ def test_report_unknown(capsys):
     assert "unknown experiment" in capsys.readouterr().err
 
 
+def test_sweep_table_output(tmp_path, capsys):
+    from repro.eval.harness import clear_caches
+
+    clear_caches()
+    assert main(["sweep", "--workloads", "dwconv", "--arch", "st",
+                 "--arch", "plaid", "--cache-dir",
+                 str(tmp_path / "cache")]) == 0
+    out = capsys.readouterr().out
+    assert "Sweep results" in out
+    assert "dwconv" in out and "plaid" in out
+    assert "2 cells" in out and "0 failed" in out
+    clear_caches()
+
+
+def test_sweep_warm_rerun_evaluates_nothing(tmp_path, capsys):
+    from repro.eval.harness import clear_caches
+
+    args = ["sweep", "--workloads", "dwconv,conv2x2", "--arch", "plaid",
+            "--cache-dir", str(tmp_path / "cache"), "--format", "json"]
+    clear_caches()
+    assert main(args) == 0
+    capsys.readouterr()
+    clear_caches()                      # fresh memo: only the store is warm
+    assert main(args) == 0
+    captured = capsys.readouterr()
+    import json
+    summary = json.loads(captured.out)["summary"]
+    assert summary["evaluated"] == 0
+    assert summary["cached"] == 2
+    clear_caches()
+
+
+def test_sweep_csv_and_failures_exit_code(tmp_path, capsys):
+    from repro.eval.harness import clear_caches
+
+    clear_caches()
+    assert main(["sweep", "--workloads", "dwconv,bogus", "--arch",
+                 "plaid", "--no-cache", "--format", "csv"]) == 1
+    out = capsys.readouterr().out
+    lines = out.strip().splitlines()
+    assert lines[0].startswith("workload,arch,mapper,status")
+    assert any(line.startswith("dwconv,plaid,plaid,ok") for line in lines)
+    assert any(line.startswith("bogus,plaid,plaid,error") for line in lines)
+    clear_caches()
+
+
+def test_sweep_output_file(tmp_path, capsys):
+    from repro.eval.harness import clear_caches
+
+    clear_caches()
+    out_file = tmp_path / "sweep.json"
+    assert main(["sweep", "--workloads", "dwconv", "--arch", "plaid",
+                 "--no-cache", "--format", "json", "--output",
+                 str(out_file)]) == 0
+    import json
+    data = json.loads(out_file.read_text())
+    assert data["summary"]["total"] == 1
+    assert data["cells"][0]["workload"] == "dwconv"
+    assert "cells:" in capsys.readouterr().out     # summary still printed
+    clear_caches()
+
+
 def test_missing_dfg_source_errors(capsys):
     assert main(["compile"]) == 2
     assert "error" in capsys.readouterr().err

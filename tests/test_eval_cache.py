@@ -1,0 +1,254 @@
+"""The persistent result store: round-trips, fingerprints, schema
+versioning, and corruption recovery."""
+
+import json
+
+import pytest
+
+from repro.eval import cache
+from repro.eval.harness import (
+    build_arch, clear_caches, configure_store, evaluate_kernel,
+    evaluation_fingerprint, EVAL_STATS,
+)
+from repro.workloads.registry import get_workload
+
+
+@pytest.fixture(autouse=True)
+def _fresh_harness():
+    clear_caches()
+    configure_store(None)
+    yield
+    clear_caches()
+
+
+@pytest.fixture
+def store(tmp_path):
+    return cache.ResultStore(tmp_path / "store")
+
+
+def _result(workload="dwconv", arch_key="plaid", mapper=None):
+    return evaluate_kernel(workload, arch_key, mapper)
+
+
+# ---------------------------------------------------------------------------
+# Serialization round-trip
+# ---------------------------------------------------------------------------
+def test_result_roundtrip_is_exact():
+    result = _result()
+    clone = cache.result_from_dict(cache.result_to_dict(result))
+    assert clone == result
+    assert clone.energy == result.energy            # float-exact
+    assert clone.power.components == result.power.components
+    assert clone.perf_per_area == result.perf_per_area
+
+
+def test_store_roundtrip(store):
+    result = _result()
+    fp = evaluation_fingerprint("dwconv", "plaid")
+    assert store.get(fp) is None                    # cold miss
+    store.put(fp, result)
+    assert fp in store and len(store) == 1
+    assert store.get(fp) == result
+    assert store.stats.hits == 1 and store.stats.writes == 1
+
+
+def test_store_survives_process_boundary(tmp_path):
+    """A second 'process' (fresh memo) reads what the first wrote."""
+    configure_store(tmp_path / "store")
+    first = evaluate_kernel("dwconv", "st")
+    assert EVAL_STATS.computed == 1
+
+    clear_caches()                                  # simulate a new process
+    configure_store(tmp_path / "store")
+    second = evaluate_kernel("dwconv", "st")
+    assert second == first
+    assert EVAL_STATS.computed == 0 and EVAL_STATS.store_hits == 1
+    # Derived sums too: dict equality is order-insensitive but float
+    # accumulation is not, so the stored entry must preserve component
+    # order bit-for-bit (regression: sort_keys reordered them once).
+    assert second.power.total_mw == first.power.total_mw
+    assert second.area.fabric_um2 == first.area.fabric_um2
+    assert second.perf_per_area == first.perf_per_area
+
+
+# ---------------------------------------------------------------------------
+# Fingerprints
+# ---------------------------------------------------------------------------
+def test_fingerprint_is_stable():
+    fp1 = evaluation_fingerprint("dwconv", "plaid")
+    fp2 = evaluation_fingerprint("dwconv", "plaid", "plaid")
+    assert fp1 == fp2                               # default mapper resolved
+    assert fp1 == evaluation_fingerprint("dwconv", "plaid")
+    assert len(fp1) == 64 and int(fp1, 16) >= 0
+
+
+def test_fingerprint_differs_per_configuration():
+    fps = {
+        evaluation_fingerprint("dwconv", "plaid"),
+        evaluation_fingerprint("dwconv", "plaid3x3"),   # other arch size
+        evaluation_fingerprint("conv2x2", "plaid"),     # other workload
+        evaluation_fingerprint("dwconv", "st", "sa"),   # other mapper
+        evaluation_fingerprint("dwconv", "st", "best"),
+    }
+    assert len(fps) == 5
+
+
+def test_fingerprint_tracks_arch_config_change():
+    """Mutating the fabric (params or structure) must change the key."""
+    spec = get_workload("dwconv")
+    arch = build_arch("plaid")
+    base = cache.fingerprint(spec, arch, "plaid", 1)
+
+    import copy
+    tweaked = copy.deepcopy(arch)
+    tweaked.params["reconfig_cycles"] = 999
+    assert cache.fingerprint(spec, tweaked, "plaid", 1) != base
+
+    stripped = copy.deepcopy(arch)
+    stripped.bypass_pairs.clear()
+    assert cache.fingerprint(spec, stripped, "plaid", 1) != base
+
+    # Every Architecture field is covered — retuning SPM geometry or a
+    # routing capacity must invalidate too (regression: the signature
+    # once listed fields by hand and missed these).
+    respmmed = copy.deepcopy(arch)
+    respmmed.spm_banks += 1
+    assert cache.fingerprint(spec, respmmed, "plaid", 1) != base
+    recapped = copy.deepcopy(arch)
+    first_resource = next(iter(recapped.resource_caps))
+    recapped.resource_caps[first_resource] += 1
+    assert cache.fingerprint(spec, recapped, "plaid", 1) != base
+
+    assert cache.fingerprint(spec, arch, "plaid", 2) != base     # seed
+    assert cache.fingerprint(spec, arch, "plaid", 1) == base     # stable
+
+
+# ---------------------------------------------------------------------------
+# Schema versioning
+# ---------------------------------------------------------------------------
+def test_schema_bump_discards_stale_entries(tmp_path):
+    root = tmp_path / "store"
+    old = cache.ResultStore(root, schema_version=cache.SCHEMA_VERSION)
+    result = _result()
+    fp = evaluation_fingerprint("dwconv", "plaid")
+    old.put(fp, result)
+
+    new = cache.ResultStore(root, schema_version=cache.SCHEMA_VERSION + 1)
+    assert new.get(fp) is None
+    assert new.stats.stale == 1
+    assert fp not in new                    # stale entry removed on contact
+    # The slot heals: the new schema can re-populate it.
+    new.put(fp, result)
+    assert new.get(fp) == result
+
+
+# ---------------------------------------------------------------------------
+# Corruption recovery
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("damage", [
+    "",                                         # truncated to nothing
+    "{\"schema\":",                             # cut mid-JSON
+    "[1, 2, 3]",                                # wrong top-level type
+    json.dumps({"schema": cache.SCHEMA_VERSION}),           # missing result
+    json.dumps({"schema": cache.SCHEMA_VERSION,
+                "result": {"workload": "dwconv"}}),         # partial result
+])
+def test_corrupt_entries_recovered_not_crashed(store, damage):
+    result = _result()
+    fp = evaluation_fingerprint("dwconv", "plaid")
+    store.put(fp, result)
+    store._entry_path(fp).write_text(damage)
+
+    assert store.get(fp) is None                # miss, no exception
+    assert store.stats.corrupt + store.stats.stale >= 1
+    assert fp not in store                      # damaged file deleted
+    store.put(fp, result)                       # and the slot still works
+    assert store.get(fp) == result
+
+
+def test_binary_garbage_entry_recovered(store):
+    """Non-UTF-8 bytes in an entry (disk corruption) are a miss too."""
+    result = _result()
+    fp = evaluation_fingerprint("dwconv", "plaid")
+    store.put(fp, result)
+    store._entry_path(fp).write_bytes(b"\xff\xfe\x00garbage\x80")
+
+    assert store.get(fp) is None
+    assert store.stats.corrupt == 1
+    assert fp not in store
+    store.put(fp, result)
+    assert store.get(fp) == result
+
+
+def test_corrupt_entry_heals_through_harness(tmp_path):
+    """End to end: a damaged cache file silently recomputes."""
+    configure_store(tmp_path / "store")
+    first = evaluate_kernel("dwconv", "plaid")
+    fp = evaluation_fingerprint("dwconv", "plaid")
+    (tmp_path / "store" / f"{fp}.json").write_text("garbage{{{")
+
+    clear_caches()
+    store = configure_store(tmp_path / "store")
+    again = evaluate_kernel("dwconv", "plaid")
+    assert again == first
+    assert EVAL_STATS.computed == 1             # recomputed, not served
+    assert store.get(fp) == first               # and re-persisted
+
+
+def test_unwritable_store_degrades_to_recompute(store, monkeypatch):
+    """A full/unwritable cache dir must not abort the evaluation."""
+    import tempfile as _tempfile
+
+    def refuse(*args, **kwargs):
+        raise OSError(28, "No space left on device")
+
+    monkeypatch.setattr(_tempfile, "mkstemp", refuse)
+    result = _result()
+    fp = evaluation_fingerprint("dwconv", "plaid")
+    store.put(fp, result)                       # swallowed, counted
+    assert store.stats.write_errors == 1
+    assert fp not in store
+
+    monkeypatch.undo()
+    store.put(fp, result)                       # recovers once writable
+    assert store.get(fp) == result
+
+
+def test_deterministic_failures_persist_across_processes(tmp_path):
+    """A doomed configuration is not re-attempted in a fresh process:
+    the failure itself is cached (with its concrete error type)."""
+    from repro.errors import ReproError
+
+    configure_store(tmp_path / "store")
+    with pytest.raises(ReproError):
+        evaluate_kernel("dwconv", "st", "magic")
+
+    clear_caches()                                  # simulate new process
+    configure_store(tmp_path / "store")
+    with pytest.raises(ReproError, match="magic"):
+        evaluate_kernel("dwconv", "st", "magic")
+    assert EVAL_STATS.computed == 0                 # served from the store
+    assert EVAL_STATS.store_hits == 1
+
+
+def test_clear_empties_store(store):
+    result = _result()
+    store.put(evaluation_fingerprint("dwconv", "plaid"), result)
+    store.put(evaluation_fingerprint("dwconv", "st"), result)
+    assert len(store) == 2
+    assert store.clear() == 2
+    assert len(store) == 0 and list(store.fingerprints()) == []
+
+
+def test_leftover_temp_files_are_not_entries(store):
+    """A writer killed between mkstemp and replace leaves .tmp-*.json
+    behind; those must not count as entries or yield fake keys."""
+    result = _result()
+    fp = evaluation_fingerprint("dwconv", "plaid")
+    store.put(fp, result)
+    (store.root / ".tmp-dead.json").write_text("{")
+
+    assert len(store) == 1
+    assert list(store.fingerprints()) == [fp]
+    assert store.clear() == 1                   # tmp removed, not counted
+    assert not list(store.root.glob("*.json"))

@@ -1,0 +1,83 @@
+"""Golden regression lock on the paper-facing numbers.
+
+``tests/data/golden_small_grid.json`` holds the exact ``ii`` / ``cycles``
+/ ``energy`` of a representative workload x architecture grid, computed
+with the stable-seed pipeline.  Any change to the frontend, mappers,
+power model, or seeds that shifts these numbers fails here *loudly* —
+which is the point: paper-facing metrics may only move deliberately.
+
+To regenerate after an intentional change, run
+``python -m repro sweep --workloads dwconv,conv2x2,gesum_u2,atax_u2,jacobi_u2
+--arch st --arch spatial --arch plaid --format json`` and transcribe the
+``ii``/``cycles``/``energy`` fields (or adapt the snippet in this file's
+git history), then explain the shift in the commit message.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.eval import parallel
+from repro.eval.harness import clear_caches, configure_store
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_small_grid.json"
+
+
+@pytest.fixture(autouse=True)
+def _fresh_harness():
+    clear_caches()
+    configure_store(None)           # golden numbers must not come from
+    yield                           # any ambient persistent store
+    clear_caches()
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def test_golden_fixture_shape(golden):
+    grid = golden["grid"]
+    assert len(golden["results"]) \
+        == len(grid["workloads"]) * len(grid["arch_keys"])
+    for entry in golden["results"]:
+        assert entry["ii"] >= 1
+        assert entry["cycles"] >= entry["ii"]
+        assert entry["energy"] > 0.0
+
+
+def test_small_grid_matches_golden_exactly(golden):
+    grid = golden["grid"]
+    cells = parallel.build_grid(grid["workloads"], grid["arch_keys"])
+    report = parallel.run_sweep(cells, jobs=1)
+    assert not report.failures, [o.error for o in report.failures]
+
+    measured = [
+        {"workload": o.cell.workload, "arch": o.cell.arch_key,
+         "mapper": o.cell.mapper, "ii": o.result.ii,
+         "cycles": o.result.cycles, "energy": o.result.energy}
+        for o in report.outcomes
+    ]
+    for got, want in zip(measured, golden["results"]):
+        assert got == want, (
+            f"paper-facing metrics moved for "
+            f"{want['workload']}/{want['arch']}: {want} -> {got}; if this "
+            "change is intentional, regenerate tests/data/"
+            "golden_small_grid.json (see module docstring)"
+        )
+
+
+def test_golden_grid_parallel_matches_too(golden):
+    """The same numbers through the process-pool path."""
+    grid = golden["grid"]
+    cells = parallel.build_grid(grid["workloads"], grid["arch_keys"])
+    report = parallel.run_sweep(cells, jobs=2)
+    measured = {
+        (o.cell.workload, o.cell.arch_key):
+            (o.result.ii, o.result.cycles, o.result.energy)
+        for o in report.outcomes
+    }
+    for want in golden["results"]:
+        assert measured[(want["workload"], want["arch"])] \
+            == (want["ii"], want["cycles"], want["energy"])
