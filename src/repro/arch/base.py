@@ -127,8 +127,20 @@ class Architecture:
     def fus_on_tile(self, tile: int) -> list[FunctionalUnit]:
         return [fu for fu in self.fus if fu.tile == tile]
 
-    def fus_supporting(self, op: Opcode) -> list[FunctionalUnit]:
-        return [fu for fu in self.fus if fu.supports(op)]
+    def fus_supporting(self, op: Opcode) -> tuple[FunctionalUnit, ...]:
+        """FUs that can execute ``op``, in fabric order (indexed once per
+        opcode; fabrics are immutable after construction).  The mappers'
+        candidate-enumeration hot paths call this per node per restart —
+        callers that shuffle must copy the returned tuple."""
+        index = getattr(self, "_op_index", None)
+        if index is None:
+            index = {}
+            self._op_index = index
+        cached = index.get(op)
+        if cached is None:
+            cached = tuple(fu for fu in self.fus if fu.supports(op))
+            index[op] = cached
+        return cached
 
     def moves_from(self, place_id: int) -> list[Move]:
         """Outgoing moves of a place (indexed once; fabrics are immutable

@@ -19,7 +19,7 @@ Resources tracked:
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.arch.base import Architecture
 from repro.errors import MappingError
@@ -61,7 +61,9 @@ class MRRG:
     :meth:`place_node` / :meth:`unplace_node`; routed edges with
     :meth:`commit_route` / :meth:`uncommit_route`.  ``overuse()`` reports
     capacity violations (PathFinder tolerates them transiently; final
-    mappings must be violation-free).
+    mappings must be violation-free).  :meth:`reset` clears all occupancy
+    in place so the mapping engine's pool can recycle instances instead
+    of reconstructing them on every restart.
     """
 
     def __init__(self, arch: Architecture, ii: int) -> None:
@@ -83,19 +85,45 @@ class MRRG:
                           dict[int, dict[int, int]]] = defaultdict(dict)
         # fu occupancy: (fu, slot) -> node_id
         self._fu_nodes: dict[tuple[int, int], int] = {}
+        # Capacity-relevant usage per (resource, slot), maintained
+        # incrementally by _charge/_discharge in lock-step with _usage
+        # (same insertion and deletion order) so the congestion queries
+        # the router hammers are O(1) instead of per-net sums.
+        self._counts: dict[tuple[ResourceKey, int], int] = {}
+        # Capacities derive from the immutable arch; memoized per resource.
+        self._cap_cache: dict[ResourceKey, int] = {}
+
+    def reset(self) -> None:
+        """Clear every placement and route charge in place.
+
+        A reset MRRG must be indistinguishable from a freshly constructed
+        ``MRRG(arch, ii)`` — the pool in :mod:`repro.mapping.engine`
+        relies on this to recycle graphs across restarts, II escalations,
+        and whole mapper runs without perturbing results.  Only occupancy
+        state is dropped; the capacity cache is arch-derived and survives.
+        """
+        self._usage.clear()
+        self._fu_nodes.clear()
+        self._counts.clear()
 
     # ------------------------------------------------------------------
     # Capacity helpers
     # ------------------------------------------------------------------
     def capacity(self, resource: ResourceKey) -> int:
+        cached = self._cap_cache.get(resource)
+        if cached is not None:
+            return cached
         kind, ident = resource
         if kind == "fu":
-            return 1
-        if kind == "place":
-            return self.arch.place(ident).capacity
-        if kind == "res":
-            return self.arch.resource_caps.get(ident, 1)
-        raise MappingError(f"unknown resource kind {kind}")
+            cap = 1
+        elif kind == "place":
+            cap = self.arch.place(ident).capacity
+        elif kind == "res":
+            cap = self.arch.resource_caps.get(ident, 1)
+        else:
+            raise MappingError(f"unknown resource kind {kind}")
+        self._cap_cache[resource] = cap
+        return cap
 
     def usage_count(self, resource: ResourceKey, slot: int) -> int:
         """Capacity-relevant usage of one modulo slot.
@@ -106,12 +134,7 @@ class MRRG:
         slot's select is programmed once per net, so a net counts once no
         matter how many iterations' values cross it.
         """
-        nets = self._usage.get((resource, slot))
-        if not nets:
-            return 0
-        if resource[0] == "res":
-            return len(nets)
-        return sum(len(cycles) for cycles in nets.values())
+        return self._counts.get((resource, slot), 0)
 
     def slot(self, cycle: int) -> int:
         return cycle % self.ii
@@ -144,9 +167,27 @@ class MRRG:
     # Route accounting
     # ------------------------------------------------------------------
     def _charge(self, net: int, resource: ResourceKey, cycle: int) -> None:
-        slot_usage = self._usage[(resource, self.slot(cycle))]
-        cycles = slot_usage.setdefault(net, {})
-        cycles[cycle] = cycles.get(cycle, 0) + 1
+        key = (resource, self.slot(cycle))
+        slot_usage = self._usage[key]
+        cycles = slot_usage.get(net)
+        if cycles is None:
+            cycles = slot_usage[net] = {}
+            if resource[0] == "res":        # wires count distinct nets
+                self._counts[key] = self._counts.get(key, 0) + 1
+        refs = cycles.get(cycle)
+        if refs is None:
+            cycles[cycle] = 1
+            if resource[0] != "res":        # places count (net, cycle) pairs
+                self._counts[key] = self._counts.get(key, 0) + 1
+        else:
+            cycles[cycle] = refs + 1
+
+    def _count_down(self, key: tuple[ResourceKey, int]) -> None:
+        remaining = self._counts[key] - 1
+        if remaining:
+            self._counts[key] = remaining
+        else:
+            del self._counts[key]
 
     def _discharge(self, net: int, resource: ResourceKey, cycle: int) -> None:
         key = (resource, self.slot(cycle))
@@ -156,11 +197,15 @@ class MRRG:
         cycles = slot_usage[net]
         count = cycles.get(cycle, 0)
         if count <= 1:
-            cycles.pop(cycle, None)
+            if cycles.pop(cycle, None) is not None \
+                    and resource[0] != "res":
+                self._count_down(key)
         else:
             cycles[cycle] = count - 1
         if not cycles:
             del slot_usage[net]
+            if resource[0] == "res":
+                self._count_down(key)
         if not slot_usage:
             del self._usage[key]
 
@@ -203,8 +248,7 @@ class MRRG:
     def overuse(self) -> list[tuple[ResourceKey, int, int, int]]:
         """(resource, slot, used, capacity) for every violated slot."""
         violations = []
-        for (resource, slot), nets in self._usage.items():
-            used = self.usage_count(resource, slot)
+        for (resource, slot), used in self._counts.items():
             cap = self.capacity(resource)
             if used > cap:
                 violations.append((resource, slot, used, cap))

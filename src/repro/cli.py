@@ -13,6 +13,9 @@ Commands:
 * ``sweep``    — evaluate a workload x architecture grid in parallel
   (``--jobs N``) through the persistent result store (``--cache-dir``,
   ``--no-cache``), emitting a table, JSON, or CSV;
+* ``mappers``  — list every registered mapper (the registry in
+  :mod:`repro.mapping.engine` is the single source of truth; ``--mapper``
+  choices everywhere derive from it);
 * ``workloads`` — list the 30 evaluated DFGs.
 """
 
@@ -48,18 +51,13 @@ def _build_arch(key: str):
 
 
 def _make_mapper(args, arch):
-    from repro.mapping import (
-        PathFinderMapper, PlaidMapper, SimulatedAnnealingMapper,
-        GreedyRepairMapper,
-    )
-    mappers = {
-        "plaid": PlaidMapper,
-        "pathfinder": PathFinderMapper,
-        "sa": SimulatedAnnealingMapper,
-        "greedy": GreedyRepairMapper,
-    }
+    # Mapper keys are validated by the registry, not argparse choices:
+    # resolving them here keeps build_parser free of the (heavyweight)
+    # mapping import for commands that never map anything.
+    from repro.mapping.engine import get_mapper
+
     name = args.mapper or ("plaid" if arch.style == "plaid" else "pathfinder")
-    return mappers[name](seed=args.seed)
+    return get_mapper(name).make(seed=args.seed)
 
 
 def cmd_compile(args) -> int:
@@ -85,12 +83,12 @@ def cmd_compile(args) -> int:
 
 
 def cmd_map(args) -> int:
-    from repro.mapping import SpatialMapper
+    from repro.mapping.engine import get_mapper
 
     dfg = _load_dfg(args)
     arch = _build_arch(args.arch)
     if arch.style == "spatial":
-        mapping = SpatialMapper(seed=args.seed).map(dfg, arch)
+        mapping = get_mapper("spatial").make(seed=args.seed).map(dfg, arch)
         print(f"{dfg.name} on {arch.name}: {len(mapping.phases)} phases, "
               f"II sum {mapping.ii_sum}, cycles {mapping.total_cycles()}")
         return 0
@@ -104,14 +102,14 @@ def cmd_map(args) -> int:
 
 def cmd_simulate(args) -> int:
     from repro.ir.interpreter import DFGInterpreter
-    from repro.mapping import SpatialMapper
+    from repro.mapping.engine import get_mapper
     from repro.sim import CGRASimulator, SpatialSimulator
 
     dfg = _load_dfg(args)
     arch = _build_arch(args.arch)
     memory = DFGInterpreter(dfg).prepare_memory(fill=args.fill)
     if arch.style == "spatial":
-        mapping = SpatialMapper(seed=args.seed).map(dfg, arch)
+        mapping = get_mapper("spatial").make(seed=args.seed).map(dfg, arch)
         mismatches = SpatialSimulator(mapping).run(
             memory, iterations=args.iterations)
         status = "VERIFIED" if not mismatches else f"MISMATCH {mismatches[:3]}"
@@ -153,6 +151,12 @@ def cmd_sweep(args) -> int:
         render_sweep, sweep_to_csv, sweep_to_json,
     )
     import os
+
+    if args.mapper:
+        # Fail fast on a typo'd key (with the registered-keys list)
+        # instead of reporting every grid cell as failed.
+        from repro.mapping.engine import get_mapper
+        get_mapper(args.mapper)
 
     if args.no_cache:
         harness.configure_store(None)
@@ -198,6 +202,20 @@ def cmd_workloads(_args) -> int:
     return 0
 
 
+def cmd_mappers(_args) -> int:
+    from repro.mapping.engine import available_mappers
+    from repro.utils.tables import format_table
+
+    rows = []
+    for info in available_mappers():
+        detail = info.description
+        if info.kind == "composite":
+            detail += f" [candidates: {', '.join(info.candidates)}]"
+        rows.append([info.key, info.kind, detail])
+    print(format_table(["mapper", "kind", "description"], rows))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Plaid CGRA reproduction toolchain")
@@ -222,8 +240,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_map.add_argument("--arch", default="plaid",
                        choices=["st", "spatial", "plaid", "plaid3x3",
                                 "st-ml", "plaid-ml"])
-    p_map.add_argument("--mapper",
-                       choices=["plaid", "pathfinder", "sa", "greedy"])
+    p_map.add_argument("--mapper", metavar="KEY",
+                       help="temporal mapper key (see 'repro mappers')")
     p_map.set_defaults(func=cmd_map)
 
     p_sim = sub.add_parser("simulate", help="map + cycle-accurate verify")
@@ -231,8 +249,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--arch", default="plaid",
                        choices=["st", "spatial", "plaid", "plaid3x3",
                                 "st-ml", "plaid-ml"])
-    p_sim.add_argument("--mapper",
-                       choices=["plaid", "pathfinder", "sa", "greedy"])
+    p_sim.add_argument("--mapper", metavar="KEY",
+                       help="temporal mapper key (see 'repro mappers')")
     p_sim.add_argument("--iterations", type=int, default=8)
     p_sim.add_argument("--fill", type=int, default=3)
     p_sim.set_defaults(func=cmd_simulate)
@@ -262,11 +280,10 @@ def build_parser() -> argparse.ArgumentParser:
                                   "st-ml", "plaid-ml"],
                          help="architecture key, repeatable (default: "
                               "st spatial plaid)")
-    p_sweep.add_argument("--mapper",
-                         choices=["plaid", "pathfinder", "sa", "best",
-                                  "spatial"],
-                         help="force one mapper for every cell (default: "
-                              "each architecture's paper mapper)")
+    p_sweep.add_argument("--mapper", metavar="KEY",
+                         help="force one registered mapper for every cell "
+                              "(see 'repro mappers'; default: each "
+                              "architecture's paper mapper)")
     p_sweep.add_argument("--jobs", type=int, default=None,
                          help="worker processes (default: $REPRO_JOBS or 1)")
     p_sweep.add_argument("--no-cache", action="store_true",
@@ -282,6 +299,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_wl = sub.add_parser("workloads", help="list evaluated workloads")
     p_wl.set_defaults(func=cmd_workloads)
+
+    p_mappers = sub.add_parser(
+        "mappers", help="list registered mappers",
+        description="Every mapper in the repro.mapping.engine registry; "
+                    "--mapper flags accept these keys.")
+    p_mappers.set_defaults(func=cmd_mappers)
     return parser
 
 

@@ -26,8 +26,6 @@ Design points:
 
 from __future__ import annotations
 
-import dataclasses
-import enum
 import hashlib
 import json
 import os
@@ -35,6 +33,14 @@ import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterator
+
+from repro.utils.signature import arch_signature
+
+__all__ = [
+    "CACHE_DIR_ENV", "CachedFailure", "ResultStore", "SCHEMA_VERSION",
+    "StoreStats", "arch_signature", "default_store", "fingerprint",
+    "result_from_dict", "result_to_dict", "workload_signature",
+]
 
 if TYPE_CHECKING:   # pragma: no cover - import cycle guard (harness imports us)
     from repro.arch.base import Architecture
@@ -57,39 +63,10 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 # ---------------------------------------------------------------------------
 # Fingerprinting
 # ---------------------------------------------------------------------------
-def _encode(value) -> object:
-    """Deterministic, JSON-serializable encoding of a config value."""
-    if isinstance(value, (str, int, float, bool)) or value is None:
-        return value
-    if isinstance(value, enum.Enum):
-        return f"{type(value).__name__}.{value.name}"
-    if isinstance(value, (list, tuple)):
-        return [_encode(item) for item in value]
-    if isinstance(value, (set, frozenset)):
-        return sorted((_encode(item) for item in value), key=repr)
-    if isinstance(value, dict):
-        return sorted(([repr(key), _encode(item)]
-                       for key, item in value.items()), key=repr)
-    if dataclasses.is_dataclass(value):
-        return [type(value).__name__] + [
-            _encode(getattr(value, f.name))
-            for f in dataclasses.fields(value)
-        ]
-    return repr(value)
-
-
-def arch_signature(arch: "Architecture") -> dict:
-    """A JSON-stable structural summary of an architecture instance.
-
-    Walks *every* dataclass field — the resource graph (FUs, places,
-    moves, produce/consume wiring), bypass pairs, resource capacities,
-    SPM geometry, configuration depth, and the free-form ``params``
-    dict — so any edit the mapper or power model can observe changes
-    the fingerprint.  New :class:`Architecture` fields are covered
-    automatically.
-    """
-    return {f.name: _encode(getattr(arch, f.name))
-            for f in dataclasses.fields(arch)}
+# The value/architecture canonicalization lives in
+# :mod:`repro.utils.signature` (the mapping engine's MRRG pool keys by
+# the same structural summary); ``arch_signature`` is re-exported here
+# because it is part of this module's fingerprint format.
 
 
 def workload_signature(spec: "WorkloadSpec") -> dict:

@@ -12,10 +12,13 @@ sweep worker pays for each configuration exactly once.
 Baseline methodology follows the paper: the spatio-temporal baselines are
 mapped with both PathFinder and simulated annealing and the better result
 is kept ("We use two mappers for these baselines and select the one with
-higher performance").  Mapper seeds come from a *stable* digest of the
-configuration (not the per-process-salted builtin ``hash``), so results
-are bit-identical across processes — the property the persistent store
-and the parallel sweep engine rely on.
+higher performance") — the ``best`` composite entry of the mapper
+registry.  Mapper dispatch goes through :mod:`repro.mapping.engine`: the
+registry is the single source of truth for mapper keys, so adding a
+mapper never touches this module.  Mapper seeds come from a *stable*
+digest of the configuration (not the per-process-salted builtin
+``hash``), so results are bit-identical across processes — the property
+the persistent store and the parallel sweep engine rely on.
 """
 
 from __future__ import annotations
@@ -29,12 +32,9 @@ from repro.arch.plaid import make_plaid
 from repro.arch.spatial import make_spatial
 from repro.arch.spatio_temporal import make_spatio_temporal
 from repro.arch.specialize import make_plaid_ml, make_st_ml
-from repro.errors import MappingError, ReproError
+from repro.errors import ReproError
 from repro.eval import cache as result_cache
-from repro.mapping.annealing import SimulatedAnnealingMapper
-from repro.mapping.pathfinder import PathFinderMapper
-from repro.mapping.plaid_mapper import PlaidMapper
-from repro.mapping.spatial_mapper import SpatialMapper
+from repro.mapping import engine as mapping_engine
 from repro.power.model import (
     ActivityFactors, AreaReport, PowerReport, activity_from_mapping,
     activity_from_spatial, fabric_area, fabric_power,
@@ -94,36 +94,6 @@ def _seed_for(workload: str, arch_key: str, mapper_key: str) -> int:
     """
     key = f"{workload}\x1f{arch_key}\x1f{mapper_key}"
     return (zlib.crc32(key.encode("utf-8")) & 0x7FFFFFFF) or 1
-
-
-def _map_temporal(dfg, arch, mapper_key: str, workload: str, arch_key: str):
-    """Map on a time-extended fabric with the requested mapper."""
-    seed = _seed_for(workload, arch_key, mapper_key)
-    if mapper_key == "pathfinder":
-        return PathFinderMapper(seed=seed).map(dfg, arch)
-    if mapper_key == "sa":
-        return SimulatedAnnealingMapper(seed=seed).map(dfg, arch)
-    if mapper_key == "plaid":
-        return PlaidMapper(seed=seed).map(dfg, arch)
-    if mapper_key == "best":
-        # Each candidate runs with the seed its standalone evaluation
-        # would use, so "best" is exactly min over the individual mapper
-        # results (and never worse than either of them).
-        best = None
-        for candidate in ("pathfinder", "sa"):
-            try:
-                mapping = _map_temporal(dfg, arch, candidate,
-                                        workload, arch_key)
-            except MappingError:
-                continue
-            if best is None or mapping.total_cycles() < best.total_cycles():
-                best = mapping
-        if best is None:
-            raise MappingError(
-                f"no baseline mapper could map '{dfg.name}' on {arch.name}"
-            )
-        return best
-    raise ReproError(f"unknown mapper key '{mapper_key}'")
 
 
 def default_mapper(arch_key: str) -> str:
@@ -259,15 +229,19 @@ def _evaluate_uncached(workload: str, arch_key: str,
     dfg = get_dfg(workload)
     arch = build_arch(arch_key)
 
+    def seed_for(key: str) -> int:
+        # Composites ("best") run each candidate with the seed its
+        # standalone evaluation would use, so their result is exactly
+        # min over the individual mapper results.
+        return _seed_for(workload, arch_key, key)
+
+    mapping = mapping_engine.map_kernel(mapper_key, dfg, arch, seed_for)
     if mapper_key == "spatial":
-        seed = _seed_for(workload, arch_key, mapper_key)
-        mapping = SpatialMapper(seed=seed).map(dfg, arch)
         cycles = mapping.total_cycles()
         ii = mapping.ii_sum
         makespan = max((phase.depth for phase in mapping.phases), default=0)
         activity = activity_from_spatial(mapping)
     else:
-        mapping = _map_temporal(dfg, arch, mapper_key, workload, arch_key)
         cycles = mapping.total_cycles()
         ii = mapping.ii
         makespan = mapping.makespan

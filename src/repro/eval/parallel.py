@@ -12,7 +12,11 @@ benchmark drivers pre-warm their grids.
 Evaluations are deterministic (stable seeds, see
 :func:`repro.eval.harness._seed_for`), so serial and parallel sweeps
 produce bit-identical metrics — the regression suite in
-``tests/test_parallel_sweep.py`` locks that down.
+``tests/test_parallel_sweep.py`` locks that down.  Mapping inside each
+worker runs through the unified :mod:`repro.mapping.engine`: mapper keys
+resolve via its registry (``--mapper`` accepts any registered key), and
+every worker process warms its own MRRG pool, which pooling keeps
+bit-identical to unpooled evaluation by construction.
 """
 
 from __future__ import annotations

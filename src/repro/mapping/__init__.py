@@ -12,10 +12,21 @@ Three mappers target the time-extended fabrics (spatio-temporal and Plaid):
 
 The spatial CGRA uses :class:`~repro.mapping.spatial_mapper.SpatialMapper`,
 which partitions the DFG into fixed-configuration phases with SPM spills.
+
+All temporal mappers are per-II strategies run by the shared
+:class:`~repro.mapping.engine.MappingEngine` (II escalation, restart
+budgeting, attempt accounting, MRRG pooling); every mapper self-registers
+with the :mod:`repro.mapping.engine` registry, which is the single source
+of truth for mapper keys across the harness, CLI, and benchmarks.
 """
 
 from repro.mapping.mii import minimum_ii, resource_mii
 from repro.mapping.base import Mapping, MappingStats
+from repro.mapping.engine import (
+    MapperInfo, MapperStrategy, MappingEngine, MRRGLease, MRRGPool,
+    available_mappers, default_engine, default_pool, get_mapper,
+    map_kernel, register_mapper,
+)
 from repro.mapping.router import route_edge, min_transport_latency
 from repro.mapping.pathfinder import PathFinderMapper
 from repro.mapping.annealing import SimulatedAnnealingMapper
@@ -25,15 +36,26 @@ from repro.mapping.spatial_mapper import SpatialMapper, SpatialMapping
 
 __all__ = [
     "GreedyRepairMapper",
+    "MapperInfo",
+    "MapperStrategy",
     "Mapping",
+    "MappingEngine",
     "MappingStats",
+    "MRRGLease",
+    "MRRGPool",
     "PathFinderMapper",
     "PlaidMapper",
     "SimulatedAnnealingMapper",
     "SpatialMapper",
     "SpatialMapping",
+    "available_mappers",
+    "default_engine",
+    "default_pool",
+    "get_mapper",
+    "map_kernel",
     "min_transport_latency",
     "minimum_ii",
+    "register_mapper",
     "resource_mii",
     "route_edge",
 ]

@@ -7,31 +7,32 @@ occasionally accepts worse states.  It has no greedy candidate ranking and
 no motif awareness — exactly the generic baseline of the paper (adapted
 from CGRA-ME / Morpher).  The library's stronger search engine lives in
 :mod:`repro.mapping.greedy`.
+
+The II escalation and stats live in the shared
+:class:`~repro.mapping.engine.MappingEngine`; this class is the per-II
+strategy (one anneal per II).
 """
 
 from __future__ import annotations
 
 import math
-import time
 
 from repro.arch.base import Architecture
-from repro.arch.mrrg import MRRG
-from repro.errors import MappingError
 from repro.ir.graph import DFG
-from repro.mapping.base import Mapping, MappingStats
+from repro.mapping.base import Mapping
 from repro.mapping.common import (
     edge_indices_by_node, initial_placement, mapping_cost,
     schedule_horizon, timing_feasible,
 )
-from repro.mapping.mii import minimum_ii
+from repro.mapping.engine import MapperStrategy, MRRGLease, register_mapper
 from repro.mapping.router import route_edge
-from repro.utils.rng import make_rng
 
 
-class SimulatedAnnealingMapper:
+class SimulatedAnnealingMapper(MapperStrategy):
     """Metropolis placement/routing search over the MRRG."""
 
     name = "sa"
+    failure_label = "SA"
 
     def __init__(self, moves_per_ii: int = 2500, start_temp: float = 10.0,
                  cooling: float = 0.997, max_ii: int | None = None,
@@ -43,47 +44,23 @@ class SimulatedAnnealingMapper:
         self.seed = seed
 
     # ------------------------------------------------------------------
-    def map(self, dfg: DFG, arch: Architecture) -> Mapping:
-        """Map ``dfg`` onto ``arch``; raises :class:`MappingError` when no
-        II up to the config-memory limit admits a mapping."""
-        start_time = time.perf_counter()
-        rng = make_rng(self.seed)
-        mii = minimum_ii(dfg, arch)
-        ii_limit = self.max_ii or arch.config_entries
-        attempts = 0
-        for ii in range(mii, ii_limit + 1):
-            attempts += 1
-            result = self._anneal(dfg, arch, ii, rng)
-            if result is not None:
-                result.stats = MappingStats(
-                    mapper=self.name,
-                    attempts=attempts,
-                    routed_edges=len(result.routes),
-                    bypass_edges=sum(
-                        1 for r in result.routes.values() if r.bypass),
-                    transport_steps=sum(
-                        len(r.steps) for r in result.routes.values()),
-                    seconds=time.perf_counter() - start_time,
-                )
-                return result
-        raise MappingError(
-            f"SA could not map '{dfg.name}' on {arch.name} "
-            f"within II <= {ii_limit}"
-        )
+    def attempt_ii(self, dfg: DFG, arch: Architecture, ii: int,
+                   restart: int, rng, lease: MRRGLease,
+                   context) -> Mapping | None:
+        return self._anneal(dfg, arch, ii, rng, lease)
 
     # ------------------------------------------------------------------
-    def _anneal(self, dfg: DFG, arch: Architecture, ii: int,
-                rng) -> Mapping | None:
+    def _anneal(self, dfg: DFG, arch: Architecture, ii: int, rng,
+                lease: MRRGLease) -> Mapping | None:
         placement = None
         for lateness in (0, 1, 2, 3):
-            mrrg = MRRG(arch, ii)
+            mrrg = lease.fresh()
             placement = initial_placement(dfg, arch, mrrg, rng,
                                           circuit_lateness=lateness)
             if placement is not None:
                 break
         if placement is None:
             return None
-        routes, failures = [], []
         routes, failures = route_all(dfg, mrrg, placement)
         unrouted = set(failures)
         incident = edge_indices_by_node(dfg)
@@ -125,7 +102,7 @@ class SimulatedAnnealingMapper:
                    ) -> tuple[int, int] | None:
         """Random compatible (fu, cycle) different from the current spot."""
         node = dfg.node(node_id)
-        fus = [fu for fu in arch.fus if fu.supports(node.op)]
+        fus = arch.fus_supporting(node.op)
         current = placement[node_id]
         others = {k: v for k, v in placement.items() if k != node_id}
         for _try in range(12):
@@ -204,3 +181,10 @@ def route_all(dfg, mrrg, placement):
     """Route every data edge of a full placement (shared helper)."""
     from repro.mapping.common import route_all_edges
     return route_all_edges(dfg, mrrg, placement)
+
+
+register_mapper(
+    "sa", SimulatedAnnealingMapper,
+    description="joint placement/routing simulated annealing "
+                "(CGRA-ME style)",
+)

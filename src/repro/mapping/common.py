@@ -7,7 +7,7 @@ against already-placed neighbours, and full or incremental edge routing.
 
 from __future__ import annotations
 
-import random
+import networkx as nx
 
 from repro.arch.base import Architecture
 from repro.arch.mrrg import MRRG, Route
@@ -48,7 +48,6 @@ def modulo_asap(dfg: DFG, ii: int) -> dict[int, int] | None:
 def recurrence_nodes(dfg: DFG) -> set[int]:
     """Nodes on loop-carried dependence circuits (SCCs of the full edge
     graph plus self-recurrences)."""
-    import networkx as nx
     graph = nx.DiGraph()
     graph.add_nodes_from(node.node_id for node in dfg.nodes)
     for edge in dfg.edges:
@@ -126,7 +125,7 @@ def proximity_score(arch: Architecture, placement, dfg: DFG,
 
 
 def initial_placement(dfg: DFG, arch: Architecture, mrrg: MRRG,
-                      rng: random.Random, circuit_lateness: int = 0
+                      rng, circuit_lateness: int = 0
                       ) -> dict[int, tuple[int, int]] | None:
     """List-schedule every node onto the MRRG; None when stuck.
 
@@ -146,7 +145,7 @@ def initial_placement(dfg: DFG, arch: Architecture, mrrg: MRRG,
     late_nodes = recurrence_nodes(dfg) if circuit_lateness else set()
     for node_id in placement_order(dfg):
         node = dfg.node(node_id)
-        candidates = [fu for fu in arch.fus if fu.supports(node.op)]
+        candidates = list(arch.fus_supporting(node.op))
         rng.shuffle(candidates)
         best: tuple[int, int] | None = None
         best_key: tuple[int, int] | None = None

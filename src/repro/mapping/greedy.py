@@ -6,24 +6,24 @@ random-move SA baseline and is offered as this library's own mapper for
 non-Plaid fabrics; the paper-faithful baselines remain
 :class:`~repro.mapping.pathfinder.PathFinderMapper` and
 :class:`~repro.mapping.annealing.SimulatedAnnealingMapper`.
+
+The II escalation, restart budgeting, and stats live in the shared
+:class:`~repro.mapping.engine.MappingEngine`.
 """
 
 from __future__ import annotations
 
-import time
-
 from repro.arch.base import Architecture
-from repro.errors import MappingError
 from repro.ir.graph import DFG
-from repro.mapping.base import Mapping, MappingStats
-from repro.mapping.mii import minimum_ii
-from repro.utils.rng import make_rng
+from repro.mapping.base import Mapping
+from repro.mapping.engine import MapperStrategy, MRRGLease, register_mapper
 
 
-class GreedyRepairMapper:
+class GreedyRepairMapper(MapperStrategy):
     """Dependency-ordered greedy placement with Metropolis repair."""
 
     name = "greedy"
+    failure_label = "greedy mapper"
 
     def __init__(self, moves_per_ii: int = 1200, start_temp: float = 8.0,
                  cooling: float = 0.995, max_ii: int | None = None,
@@ -35,36 +35,27 @@ class GreedyRepairMapper:
         self.restarts = restarts
         self.seed = seed
 
-    def map(self, dfg: DFG, arch: Architecture) -> Mapping:
-        """Map ``dfg`` onto any time-extended fabric."""
-        from repro.mapping.plaid_mapper import (
-            _State, singleton_hierarchy, solve_state,
-        )
-        start_time = time.perf_counter()
-        rng = make_rng(self.seed)
-        hierarchy = singleton_hierarchy(dfg)
-        mii = minimum_ii(dfg, arch)
-        ii_limit = self.max_ii or arch.config_entries
-        attempts = 0
-        for ii in range(mii, ii_limit + 1):
-            for _restart in range(self.restarts):
-                attempts += 1
-                state = _State(dfg, arch, hierarchy, ii, None, rng)
-                mapping = solve_state(state, self.moves_per_ii,
-                                      self.start_temp, self.cooling)
-                if mapping is not None:
-                    mapping.stats = MappingStats(
-                        mapper=self.name,
-                        attempts=attempts,
-                        routed_edges=len(mapping.routes),
-                        bypass_edges=sum(
-                            1 for r in mapping.routes.values() if r.bypass),
-                        transport_steps=sum(
-                            len(r.steps) for r in mapping.routes.values()),
-                        seconds=time.perf_counter() - start_time,
-                    )
-                    return mapping
-        raise MappingError(
-            f"greedy mapper could not map '{dfg.name}' on {arch.name} "
-            f"within II <= {ii_limit}"
-        )
+    def prepare(self, dfg: DFG, arch: Architecture, rng, **kwargs):
+        from repro.mapping.plaid_mapper import singleton_hierarchy
+
+        return singleton_hierarchy(dfg)
+
+    def attempts_per_ii(self, ii: int, context) -> int:
+        return self.restarts
+
+    def attempt_ii(self, dfg: DFG, arch: Architecture, ii: int,
+                   restart: int, rng, lease: MRRGLease,
+                   context) -> Mapping | None:
+        from repro.mapping.plaid_mapper import _State, solve_state
+
+        state = _State(dfg, arch, context, ii, None, rng,
+                       mrrg=lease.fresh())
+        return solve_state(state, self.moves_per_ii, self.start_temp,
+                           self.cooling)
+
+
+register_mapper(
+    "greedy", GreedyRepairMapper,
+    description="motif-blind greedy placement with Metropolis repair "
+                "(Algorithm 2 over a singleton hierarchy)",
+)

@@ -6,26 +6,27 @@ ripped up and rerouted for several rounds.  Overused resource slots
 accumulate *history* cost, steering later rounds away until the mapping is
 congestion-free.  Placement restarts (with a different RNG stream) give the
 router fresh starting points before the II is given up on.
+
+The II escalation, restart budgeting, and stats live in the shared
+:class:`~repro.mapping.engine.MappingEngine`; this class is the per-II
+strategy (one restart = one list-scheduled placement negotiated over
+``max_rounds`` rip-up rounds).
 """
 
 from __future__ import annotations
 
-import time
-
 from repro.arch.base import Architecture
-from repro.arch.mrrg import MRRG
-from repro.errors import MappingError
 from repro.ir.graph import DFG
-from repro.mapping.base import Mapping, MappingStats
+from repro.mapping.base import Mapping
 from repro.mapping.common import initial_placement, route_all_edges
-from repro.mapping.mii import minimum_ii
-from repro.utils.rng import make_rng
+from repro.mapping.engine import MapperStrategy, MRRGLease, register_mapper
 
 
-class PathFinderMapper:
+class PathFinderMapper(MapperStrategy):
     """Negotiation-based CGRA mapper (baseline #1 of Figure 18)."""
 
     name = "pathfinder"
+    failure_label = "PathFinder"
 
     def __init__(self, max_rounds: int = 16, restarts: int = 6,
                  history_increment: float = 2.0, max_ii: int | None = None,
@@ -36,39 +37,19 @@ class PathFinderMapper:
         self.max_ii = max_ii
         self.seed = seed
 
-    def map(self, dfg: DFG, arch: Architecture) -> Mapping:
-        """Map ``dfg`` onto ``arch``; raises :class:`MappingError` when no
-        II up to the config-memory limit admits a mapping."""
-        start_time = time.perf_counter()
-        rng = make_rng(self.seed)
-        mii = minimum_ii(dfg, arch)
-        ii_limit = self.max_ii or arch.config_entries
-        attempts = 0
-        for ii in range(mii, ii_limit + 1):
-            for restart in range(self.restarts):
-                attempts += 1
-                mapping = self._try_ii(dfg, arch, ii, rng,
-                                       circuit_lateness=restart % 4)
-                if mapping is not None:
-                    mapping.stats = MappingStats(
-                        mapper=self.name,
-                        attempts=attempts,
-                        routed_edges=len(mapping.routes),
-                        bypass_edges=sum(
-                            1 for r in mapping.routes.values() if r.bypass),
-                        transport_steps=sum(
-                            len(r.steps) for r in mapping.routes.values()),
-                        seconds=time.perf_counter() - start_time,
-                    )
-                    return mapping
-        raise MappingError(
-            f"PathFinder could not map '{dfg.name}' on {arch.name} "
-            f"within II <= {ii_limit}"
-        )
+    def attempts_per_ii(self, ii: int, context) -> int:
+        return self.restarts
+
+    def attempt_ii(self, dfg: DFG, arch: Architecture, ii: int,
+                   restart: int, rng, lease: MRRGLease,
+                   context) -> Mapping | None:
+        return self._try_ii(dfg, arch, ii, rng, lease,
+                            circuit_lateness=restart % 4)
 
     def _try_ii(self, dfg: DFG, arch: Architecture, ii: int, rng,
-                circuit_lateness: int = 0) -> Mapping | None:
-        mrrg = MRRG(arch, ii)
+                lease: MRRGLease, circuit_lateness: int = 0
+                ) -> Mapping | None:
+        mrrg = lease.fresh()
         placement = initial_placement(dfg, arch, mrrg, rng,
                                       circuit_lateness=circuit_lateness)
         if placement is None:
@@ -76,7 +57,7 @@ class PathFinderMapper:
         history: dict = {}
         for _round in range(self.max_rounds):
             # Rip up: fresh MRRG with only the placement committed.
-            mrrg = MRRG(arch, ii)
+            mrrg = lease.fresh()
             for node_id, (fu_id, cycle) in placement.items():
                 mrrg.place_node(node_id, fu_id, cycle)
             routes, failures = route_all_edges(dfg, mrrg, placement,
@@ -95,3 +76,10 @@ class PathFinderMapper:
                 history[key] = history.get(key, 0.0) \
                     + self.history_increment * (used - cap)
         return None
+
+
+register_mapper(
+    "pathfinder", PathFinderMapper,
+    description="negotiated congestion routing (McMurchie-Ebeling, "
+                "as adapted for CGRAs by Morpher)",
+)

@@ -15,35 +15,38 @@ individual FUs.  The flow follows the paper:
 On Plaid-ML fabrics (hardwired motif PCUs) collective groups may only land
 on PCUs hardwired for their kind — pattern edges there are free wires —
 while general PCUs accept anything.
+
+The II escalation (step 4) and stats live in the shared
+:class:`~repro.mapping.engine.MappingEngine`; this class is the per-II
+strategy, with one restart per candidate motif decomposition.
 """
 
 from __future__ import annotations
 
 import math
-import time
 
 from repro.arch.base import Architecture
 from repro.arch.mrrg import MRRG, Route
 from repro.arch.specialize import hardwired_motif_kinds
 from repro.errors import MappingError
 from repro.ir.graph import DFG
-from repro.mapping.base import Mapping, MappingStats
+from repro.mapping.base import Mapping
 from repro.mapping.common import mapping_cost, modulo_asap, schedule_horizon
-from repro.mapping.mii import minimum_ii
+from repro.mapping.engine import MapperStrategy, MRRGLease, register_mapper
 from repro.mapping.router import min_transport_latency, route_edge
 from repro.motifs.hierarchy import HierarchicalDFG, build_hierarchy
-from repro.motifs.schedules import ScheduleTemplate, schedule_templates
+from repro.motifs.schedules import schedule_templates
 from repro.motifs.types import MotifKind
-from repro.utils.rng import make_rng
 
 #: FUs per PCU (3 ALUs + ALSU); ALU slot s of PCU u is FU ``u*4 + s``.
 _FUS_PER_PCU = 4
 
 
-class PlaidMapper:
+class PlaidMapper(MapperStrategy):
     """Motif-aware hierarchical mapper for Plaid fabrics."""
 
     name = "plaid"
+    failure_label = "Plaid mapper"
 
     def __init__(self, moves_per_ii: int = 600, start_temp: float = 6.0,
                  cooling: float = 0.99, max_ii: int | None = None,
@@ -60,12 +63,14 @@ class PlaidMapper:
     def map(self, dfg: DFG, arch: Architecture,
             hierarchy: HierarchicalDFG | None = None) -> Mapping:
         """Map ``dfg`` (motif-decomposed) onto a Plaid fabric."""
+        return super().map(dfg, arch, hierarchy=hierarchy)
+
+    def prepare(self, dfg: DFG, arch: Architecture, rng,
+                hierarchy: HierarchicalDFG | None = None):
         if arch.style != "plaid":
             raise MappingError(
                 f"PlaidMapper targets Plaid fabrics, not {arch.style}"
             )
-        start_time = time.perf_counter()
-        rng = make_rng(self.seed)
         hardwired = hardwired_motif_kinds(arch)
         if hierarchy is not None:
             hierarchies = [hierarchy]
@@ -82,31 +87,19 @@ class PlaidMapper:
             hierarchies = [
                 demote_for_hardwired(h, hardwired) for h in hierarchies
             ]
-        mii = minimum_ii(dfg, arch)
-        ii_limit = self.max_ii or arch.config_entries
-        attempts = 0
-        for ii in range(mii, ii_limit + 1):
-            for candidate_hierarchy in hierarchies:
-                attempts += 1
-                state = _State(dfg, arch, candidate_hierarchy, ii,
-                               hardwired, rng)
-                mapping = self._solve(state)
-                if mapping is not None:
-                    mapping.stats = MappingStats(
-                        mapper=self.name,
-                        attempts=attempts,
-                        routed_edges=len(mapping.routes),
-                        bypass_edges=sum(
-                            1 for r in mapping.routes.values() if r.bypass),
-                        transport_steps=sum(
-                            len(r.steps) for r in mapping.routes.values()),
-                        seconds=time.perf_counter() - start_time,
-                    )
-                    return mapping
-        raise MappingError(
-            f"Plaid mapper could not map '{dfg.name}' on {arch.name} "
-            f"within II <= {ii_limit}"
-        )
+        return (hierarchies, hardwired)
+
+    def attempts_per_ii(self, ii: int, context) -> int:
+        hierarchies, _hardwired = context
+        return len(hierarchies)
+
+    def attempt_ii(self, dfg: DFG, arch: Architecture, ii: int,
+                   restart: int, rng, lease: MRRGLease,
+                   context) -> Mapping | None:
+        hierarchies, hardwired = context
+        state = _State(dfg, arch, hierarchies[restart], ii,
+                       hardwired, rng, mrrg=lease.fresh())
+        return self._solve(state)
 
     # ------------------------------------------------------------------
     def _solve(self, state: "_State") -> Mapping | None:
@@ -245,14 +238,15 @@ class _State:
 
     def __init__(self, dfg: DFG, arch: Architecture,
                  hierarchy: HierarchicalDFG, ii: int,
-                 hardwired: dict[int, MotifKind] | None, rng) -> None:
+                 hardwired: dict[int, MotifKind] | None, rng,
+                 mrrg: MRRG | None = None) -> None:
         self.dfg = dfg
         self.arch = arch
         self.hierarchy = hierarchy
         self.ii = ii
         self.hardwired = hardwired
         self.rng = rng
-        self.mrrg = MRRG(arch, ii)
+        self.mrrg = mrrg if mrrg is not None else MRRG(arch, ii)
         self.placement: dict[int, tuple[int, int]] = {}
         self.routes: dict[int, Route] = {}
         self.unrouted: set[int] = set()
@@ -299,7 +293,7 @@ class _State:
 
     def _singleton_candidates(self, group: int):
         node = self.dfg.node(self.hierarchy.groups[group].nodes[0])
-        fus = [fu.fu_id for fu in self.arch.fus if fu.supports(node.op)]
+        fus = [fu.fu_id for fu in self.arch.fus_supporting(node.op)]
         self.rng.shuffle(fus)
         return fus
 
@@ -662,3 +656,10 @@ class _State:
         )
         return mapping_cost(self.mrrg, self.routes, missing) \
             + 500.0 * len(self.unplaced)
+
+
+register_mapper(
+    "plaid", PlaidMapper,
+    description="motif-aware hierarchical mapping with flexible schedule "
+                "templates (the paper's Algorithm 2)",
+)

@@ -19,6 +19,33 @@ from repro.arch.topology import manhattan
 MAX_TRANSPORT_CYCLES = 64
 
 
+def transport_latency_table(arch: Architecture) -> tuple[tuple[int, ...], ...]:
+    """Flattened FU x FU minimum-latency matrix, built once per fabric.
+
+    The placement heuristics and candidate estimators call
+    :func:`min_transport_latency` millions of times per mapper run; a
+    precomputed table turns each call into two index lookups without
+    changing a single value.
+    """
+    table = getattr(arch, "_transport_latency_table", None)
+    if table is None:
+        tiles = [fu.tile for fu in arch.fus]
+        cols = arch.cols
+        if arch.style == "plaid":
+            def latency(hops: int) -> int:
+                return 1 if hops == 0 else 1 + hops
+        else:
+            def latency(hops: int) -> int:
+                return max(1, hops)
+        table = tuple(
+            tuple(latency(manhattan(src_tile, dst_tile, cols))
+                  for dst_tile in tiles)
+            for src_tile in tiles
+        )
+        arch._transport_latency_table = table
+    return table
+
+
 def min_transport_latency(arch: Architecture, src_fu: int,
                           dst_fu: int) -> int:
     """Smallest producer-to-consumer latency the fabric allows.
@@ -27,12 +54,28 @@ def min_transport_latency(arch: Architecture, src_fu: int,
     more per extra hop.  Plaid: 1 cycle within a PCU, 1 + PCU hops across
     PCUs (the extra cycle is the local-to-global staging hop).
     """
-    src_tile = arch.fu(src_fu).tile
-    dst_tile = arch.fu(dst_fu).tile
-    hops = manhattan(src_tile, dst_tile, arch.cols)
-    if arch.style == "plaid":
-        return 1 if hops == 0 else 1 + hops
-    return max(1, hops)
+    return transport_latency_table(arch)[src_fu][dst_fu]
+
+
+def router_adjacency(arch: Architecture
+                     ) -> tuple[tuple[tuple[int, tuple[str, str]], ...], ...]:
+    """Per-place outgoing transitions, flattened for the Dijkstra loop.
+
+    ``adjacency[place]`` is a tuple of ``(dst_place, ("res", name))``
+    pairs in the fabric's move-declaration order — the same order
+    :meth:`Architecture.moves_from` yields, so search tie-breaking is
+    unchanged.  Built once per fabric and shared by every MRRG over it.
+    """
+    adjacency = getattr(arch, "_router_adjacency", None)
+    if adjacency is None:
+        outgoing: list[list[tuple[int, tuple[str, str]]]] = [
+            [] for _ in arch.places
+        ]
+        for move in arch.moves:
+            outgoing[move.src].append((move.dst, ("res", move.resource)))
+        adjacency = tuple(tuple(entries) for entries in outgoing)
+        arch._router_adjacency = adjacency
+    return adjacency
 
 
 def route_edge(mrrg: MRRG, net: int, src_fu: int, depart_cycle: int,
@@ -71,11 +114,13 @@ def route_edge(mrrg: MRRG, net: int, src_fu: int, depart_cycle: int,
         (start_cost, start_place, start_cycle)
     ]
     best: dict[tuple[int, int], float] = {(start_place, start_cycle): start_cost}
-    parents: dict[tuple[int, int], tuple[int, int, RouteStep | None]] = {}
+    parents: dict[tuple[int, int],
+                  tuple[int, int, tuple[str, str] | None]] = {}
 
     # The consume-side wire charge differs per goal place (a congested
     # remote read can cost far more than landing locally), so goals are
     # compared on cost *including* their read charge.
+    adjacency = router_adjacency(arch)
     goal_state: tuple[int, int] | None = None
     goal_cost = float("inf")
     while frontier:
@@ -97,10 +142,9 @@ def route_edge(mrrg: MRRG, net: int, src_fu: int, depart_cycle: int,
         _push(mrrg, net, history, best, frontier, parents,
               place, cycle, place, cycle + 1, cost, None)
         # Moves to connected places.
-        for move in arch.moves_from(place):
-            move_step = RouteStep("move", ("res", move.resource), cycle)
+        for dst_place, move_resource in adjacency[place]:
             _push(mrrg, net, history, best, frontier, parents,
-                  place, cycle, move.dst, cycle + 1, cost, move_step)
+                  place, cycle, dst_place, cycle + 1, cost, move_resource)
 
     if goal_state is None:
         return None
@@ -116,9 +160,9 @@ def route_edge(mrrg: MRRG, net: int, src_fu: int, depart_cycle: int,
         parent = parents.get(state)
         if parent is None:
             break
-        prev_place, prev_cycle, move_step = parent
-        if move_step is not None:
-            steps.append(move_step)
+        prev_place, prev_cycle, move_resource = parent
+        if move_resource is not None:
+            steps.append(RouteStep("move", move_resource, prev_cycle))
         state = (prev_place, prev_cycle)
     steps.reverse()
     places.reverse()
@@ -144,11 +188,16 @@ def route_edge(mrrg: MRRG, net: int, src_fu: int, depart_cycle: int,
 
 def _push(mrrg: MRRG, net: int, history, best, frontier, parents,
           place: int, cycle: int, next_place: int, next_cycle: int,
-          cost: float, move_step: RouteStep | None) -> bool:
-    """Relax one Dijkstra transition; returns True when it improved."""
-    if move_step is not None:
-        move_cost = mrrg.step_cost(net, move_step.resource, move_step.cycle,
-                                   history)
+          cost: float, move_resource: tuple[str, str] | None) -> bool:
+    """Relax one Dijkstra transition; returns True when it improved.
+
+    ``move_resource`` is the ``("res", name)`` key the transfer charges
+    (``None`` for a hold); the :class:`RouteStep` itself is materialized
+    only during path reconstruction, so the hot loop allocates nothing
+    for transitions that don't improve.
+    """
+    if move_resource is not None:
+        move_cost = mrrg.step_cost(net, move_resource, cycle, history)
     else:
         move_cost = 0.0
     occupy_cost = mrrg.step_cost(net, ("place", next_place), next_cycle,
@@ -157,7 +206,7 @@ def _push(mrrg: MRRG, net: int, history, best, frontier, parents,
     key = (next_place, next_cycle)
     if new_cost < best.get(key, float("inf")):
         best[key] = new_cost
-        parents[key] = (place, cycle, move_step)
+        parents[key] = (place, cycle, move_resource)
         heapq.heappush(frontier, (new_cost, next_place, next_cycle))
         return True
     return False

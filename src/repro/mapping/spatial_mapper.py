@@ -33,6 +33,7 @@ from repro.errors import MappingError
 from repro.ir.analysis import topological_order
 from repro.ir.graph import DFG
 from repro.ir.ops import OP_LATENCY
+from repro.mapping.engine import register_mapper
 from repro.utils.rng import make_rng
 
 
@@ -573,3 +574,10 @@ def _recurrence_mii_subset(dfg: DFG, members: set[int]) -> int:
             if not changed:
                 return ii
     return 32
+
+
+register_mapper(
+    "spatial", SpatialMapper, kind="spatial",
+    description="phase-partitioned spatial mapping with SPM spills "
+                "(fixed-configuration fabrics)",
+)

@@ -1,0 +1,78 @@
+"""Canonical structural signatures for configuration objects.
+
+Shared by the persistent result store (fingerprint keys) and the mapping
+engine's MRRG pool (pool keys): both need a deterministic, process-stable
+summary of an :class:`~repro.arch.base.Architecture` instance so that two
+structurally identical fabrics — whether or not they are the same Python
+object — hash to the same key.
+
+``encode_value`` canonicalizes arbitrary config values (dataclasses,
+enums, sets, nested containers) into JSON-serializable structures with a
+deterministic ordering; ``arch_signature`` applies it to every dataclass
+field of an architecture.  The encodings here are part of the persistent
+cache's fingerprint format: changing them orphans existing cache entries
+(they degrade to misses, never to wrong numbers).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:   # pragma: no cover - avoids an import cycle at runtime
+    from repro.arch.base import Architecture
+
+
+def encode_value(value) -> object:
+    """Deterministic, JSON-serializable encoding of a config value."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, enum.Enum):
+        return f"{type(value).__name__}.{value.name}"
+    if isinstance(value, (list, tuple)):
+        return [encode_value(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted((encode_value(item) for item in value), key=repr)
+    if isinstance(value, dict):
+        return sorted(([repr(key), encode_value(item)]
+                       for key, item in value.items()), key=repr)
+    if dataclasses.is_dataclass(value):
+        return [type(value).__name__] + [
+            encode_value(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        ]
+    return repr(value)
+
+
+def arch_signature(arch: "Architecture") -> dict:
+    """A JSON-stable structural summary of an architecture instance.
+
+    Walks *every* dataclass field — the resource graph (FUs, places,
+    moves, produce/consume wiring), bypass pairs, resource capacities,
+    SPM geometry, configuration depth, and the free-form ``params``
+    dict — so any edit the mapper or power model can observe changes
+    the signature.  New :class:`Architecture` fields are covered
+    automatically.
+    """
+    return {f.name: encode_value(getattr(arch, f.name))
+            for f in dataclasses.fields(arch)}
+
+
+def arch_structural_key(arch: "Architecture") -> str:
+    """Compact digest of :func:`arch_signature`, memoized per instance.
+
+    Two architecture objects with equal structural keys are
+    interchangeable for mapping: every id, capacity, wire, and parameter
+    the mappers and the MRRG read is identical.  The MRRG pool keys its
+    reusable graphs by this digest (plus the II).
+    """
+    cached = getattr(arch, "_structural_key", None)
+    if cached is None:
+        canonical = json.dumps(arch_signature(arch), sort_keys=True,
+                               separators=(",", ":"))
+        cached = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+        arch._structural_key = cached
+    return cached

@@ -134,6 +134,34 @@ def test_sweep_output_file(tmp_path, capsys):
     clear_caches()
 
 
+def test_mappers_listing(capsys):
+    assert main(["mappers"]) == 0
+    out = capsys.readouterr().out
+    for key in ("pathfinder", "sa", "plaid", "greedy", "best", "spatial"):
+        assert key in out
+    assert "composite" in out          # "best" advertises its candidates
+    assert "pathfinder, sa" in out
+
+
+def test_map_accepts_registry_mapper(capsys):
+    assert main(["map", "--workload", "dwconv", "--arch", "st",
+                 "--mapper", "greedy"]) == 0
+    out = capsys.readouterr().out
+    assert "mapper: greedy" in out
+
+
+def test_unknown_mapper_key_exits_with_error(capsys):
+    assert main(["map", "--workload", "dwconv", "--mapper", "bogus"]) == 2
+    assert "unknown mapper key 'bogus'" in capsys.readouterr().err
+
+
+def test_sweep_rejects_unknown_mapper_before_evaluating(capsys):
+    assert main(["sweep", "--workloads", "dwconv", "--arch", "plaid",
+                 "--no-cache", "--mapper", "bogus"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown mapper key 'bogus'" in err and "registered:" in err
+
+
 def test_missing_dfg_source_errors(capsys):
     assert main(["compile"]) == 2
     assert "error" in capsys.readouterr().err
