@@ -103,21 +103,25 @@ def cmd_map(args) -> int:
 def cmd_simulate(args) -> int:
     from repro.ir.interpreter import DFGInterpreter
     from repro.mapping.engine import get_mapper
-    from repro.sim import CGRASimulator, SpatialSimulator
+    from repro.sim import CGRASimulator, SpatialSimulator, TraceRecorder
 
     dfg = _load_dfg(args)
     arch = _build_arch(args.arch)
     memory = DFGInterpreter(dfg).prepare_memory(fill=args.fill)
+    trace = TraceRecorder(limit=args.trace) if args.trace else None
     if arch.style == "spatial":
         mapping = get_mapper("spatial").make(seed=args.seed).map(dfg, arch)
-        mismatches = SpatialSimulator(mapping).run(
+        report = SpatialSimulator(mapping, trace=trace).simulate(
             memory, iterations=args.iterations)
-        status = "VERIFIED" if not mismatches else f"MISMATCH {mismatches[:3]}"
-        print(f"{dfg.name} on {arch.name}: {status}")
-        return 0 if not mismatches else 1
-    mapping = _make_mapper(args, arch).map(dfg, arch)
-    report = CGRASimulator(mapping).run(memory, iterations=args.iterations)
+    else:
+        mapping = _make_mapper(args, arch).map(dfg, arch)
+        simulator = CGRASimulator(mapping, trace=trace)
+        run = simulator.run_reference if args.engine == "reference" \
+            else simulator.run
+        report = run(memory, iterations=args.iterations)
     print(f"{dfg.name} on {arch.name}: {report.summary()}")
+    if trace is not None and trace.events:
+        print(trace.render())
     return 0 if report.verified else 1
 
 
@@ -253,6 +257,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="temporal mapper key (see 'repro mappers')")
     p_sim.add_argument("--iterations", type=int, default=8)
     p_sim.add_argument("--fill", type=int, default=3)
+    p_sim.add_argument("--engine", choices=["compiled", "reference"],
+                       default="compiled",
+                       help="simulation engine: the compiled schedule "
+                            "(default) or the interpreted reference loop "
+                            "(bit-identical; conformance/benchmarking)")
+    p_sim.add_argument("--trace", type=int, metavar="N", default=0,
+                       help="print the first N execution trace events")
     p_sim.set_defaults(func=cmd_simulate)
 
     p_report = sub.add_parser("report", help="print one experiment")

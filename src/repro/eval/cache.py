@@ -228,33 +228,16 @@ class ResultStore:
         crash or a wrong number.
         """
         path = self._entry_path(fp)
-        try:
-            raw = path.read_text(encoding="utf-8")
-        except OSError:
+        status, result = self._read_entry(path)
+        if status == "missing":
             self.stats.misses += 1
             return None
-        except UnicodeDecodeError:     # binary garbage in the entry
-            self.stats.corrupt += 1
+        if status == "stale":
+            self.stats.stale += 1
             self.stats.misses += 1
             self._discard(path)
             return None
-        try:
-            entry = json.loads(raw)
-            if not isinstance(entry, dict):
-                raise ValueError("entry is not an object")
-            if entry.get("schema") != self.schema_version:
-                self.stats.stale += 1
-                self.stats.misses += 1
-                self._discard(path)
-                return None
-            if "failure" in entry:
-                result = CachedFailure(
-                    error_type=str(entry["failure"]["type"]),
-                    message=str(entry["failure"]["message"]),
-                )
-            else:
-                result = result_from_dict(entry["result"])
-        except (ValueError, KeyError, TypeError):
+        if status == "corrupt":
             self.stats.corrupt += 1
             self.stats.misses += 1
             self._discard(path)
@@ -262,8 +245,37 @@ class ResultStore:
         self.stats.hits += 1
         return result
 
+    def _read_entry(self, path: Path
+                    ) -> "tuple[str, KernelResult | CachedFailure | None]":
+        """Decode one entry file: ('ok'|'missing'|'stale'|'corrupt',
+        payload).  Pure read — no stats, no deletion."""
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except OSError:
+            return "missing", None
+        except UnicodeDecodeError:     # binary garbage in the entry
+            return "corrupt", None
+        try:
+            entry = json.loads(raw)
+            if not isinstance(entry, dict):
+                raise ValueError("entry is not an object")
+            if entry.get("schema") != self.schema_version:
+                return "stale", None
+            if "failure" in entry:
+                return "ok", CachedFailure(
+                    error_type=str(entry["failure"]["type"]),
+                    message=str(entry["failure"]["message"]),
+                )
+            return "ok", result_from_dict(entry["result"])
+        except (ValueError, KeyError, TypeError):
+            return "corrupt", None
+
     def __contains__(self, fp: str) -> bool:
-        return self._entry_path(fp).exists()
+        """Membership consistent with :meth:`get`: schema-stale and
+        corrupt entries read as absent (``get`` would treat them as
+        misses), but — unlike ``get`` — the probe neither counts stats
+        nor deletes the damaged file."""
+        return self._read_entry(self._entry_path(fp))[0] == "ok"
 
     def _entries(self) -> Iterator[Path]:
         # Path.glob("*.json") also matches dot-prefixed names, so filter

@@ -263,6 +263,45 @@ def _evaluate_uncached(workload: str, arch_key: str,
     )
 
 
+def simulate_kernel(workload: str, arch_key: str,
+                    mapper_key: str | None = None, *,
+                    iterations: int | None = 8, fill: int = 3,
+                    engine: str = "compiled", trace=None):
+    """Map one configuration and run the cycle-accurate simulator.
+
+    Uses the same registry dispatch and stable per-configuration seeds
+    as :func:`evaluate_kernel`, so the simulated mapping is exactly the
+    one the metrics pipeline prices.  ``engine`` selects the compiled
+    schedule (default) or the interpreted ``reference`` loop — the two
+    are bit-identical by invariant; the knob exists for conformance and
+    benchmarking.  Spatial fabrics run the phased functional simulator;
+    every style returns the shared
+    :class:`~repro.sim.engine.SimulationReport`.
+    """
+    from repro.ir.interpreter import DFGInterpreter
+    from repro.sim import CGRASimulator, SpatialSimulator
+
+    if engine not in ("compiled", "reference"):
+        raise ReproError(f"unknown simulation engine '{engine}' "
+                         "(compiled, reference)")
+    mapper_key = resolve_mapper(arch_key, mapper_key)
+    dfg = get_dfg(workload)
+    arch = build_arch(arch_key)
+
+    def seed_for(key: str) -> int:
+        return _seed_for(workload, arch_key, key)
+
+    mapping = mapping_engine.map_kernel(mapper_key, dfg, arch, seed_for)
+    memory = DFGInterpreter(dfg).prepare_memory(fill=fill)
+    if mapper_key == "spatial":
+        return SpatialSimulator(mapping, trace=trace).simulate(
+            memory, iterations=iterations)
+    simulator = CGRASimulator(mapping, trace=trace)
+    if engine == "reference":
+        return simulator.run_reference(memory, iterations=iterations)
+    return simulator.run(memory, iterations=iterations)
+
+
 def seed_memo(result: KernelResult) -> None:
     """Install an externally computed result (sweep workers hand results
     back to the parent through this)."""

@@ -1,9 +1,10 @@
 """Parallel sweep engine over the (workload x architecture x mapper) grid.
 
 ``run_sweep`` fans the evaluation grid out over a ``ProcessPoolExecutor``
-with chunking, captures per-cell failures (one :class:`MappingError`
-must never kill a 90-cell sweep), and returns outcomes in deterministic
-grid order regardless of worker scheduling.  Workers share the persistent
+with chunking, captures per-cell failures (one failing cell — a
+:class:`MappingError` or any unexpected exception — must never kill a
+90-cell sweep), and returns outcomes in deterministic grid order
+regardless of worker scheduling.  Workers share the persistent
 :class:`~repro.eval.cache.ResultStore` when one is active, so a sweep
 both *uses* and *fills* the cross-process cache; results are also handed
 back to the parent's in-process memo, which is how the experiment and
@@ -145,7 +146,10 @@ def _worker_evaluate(task: tuple[int, tuple[str, str, str], str | None]
     start = time.perf_counter()
     try:
         result = harness.evaluate_kernel(workload, arch_key, mapper)
-    except ReproError as error:
+    except Exception as error:      # noqa: BLE001 — the sweep contract:
+        # one failing cell (ReproError or an unexpected bug in one
+        # evaluation) must never kill the whole pool.map; it becomes a
+        # structured per-cell failure outcome instead.
         return (index, None, str(error), type(error).__name__,
                 time.perf_counter() - start,
                 _stats_delta(store, before))
@@ -267,10 +271,13 @@ def run_sweep(cells: list[SweepCell], jobs: int = 1,
                     slots[index] = CellOutcome(
                         cell=cell, error=error, error_type=error_type,
                         seconds=seconds)
-                    harness.seed_failure(
-                        *cell.key(),
-                        CachedFailure(error_type or "", error or "")
-                        .to_error())
+                    failure = CachedFailure(error_type or "",
+                                            error or "").to_error()
+                    # Memoize only faithfully reconstructed ReproErrors;
+                    # unexpected exception types (a worker bug) are
+                    # reported but not treated as deterministic.
+                    if type(failure).__name__ == (error_type or ""):
+                        harness.seed_failure(*cell.key(), failure)
                     continue
                 result = result_from_dict(payload)
                 harness.seed_memo(result)
@@ -308,6 +315,13 @@ def _run_cell_local(cell: SweepCell, use_cache: bool) -> CellOutcome:
         result = harness.evaluate_kernel(*key, use_store=use_cache)
     except ReproError as error:
         harness.seed_failure(*key, error)
+        return CellOutcome(cell=cell, error=str(error),
+                           error_type=type(error).__name__,
+                           seconds=time.perf_counter() - start)
+    except Exception as error:      # noqa: BLE001 — sweep contract: an
+        # unexpected bug in one evaluation is a per-cell failure, not a
+        # sweep abort.  Deliberately NOT memoized: only deterministic
+        # ReproErrors are safe to serve from the failure memo.
         return CellOutcome(cell=cell, error=str(error),
                            error_type=type(error).__name__,
                            seconds=time.perf_counter() - start)

@@ -14,42 +14,32 @@ iterations with real 16-bit data:
 After the window, the scratchpad contents are compared word-for-word with
 the reference interpreter run over the same iterations — the end-to-end
 check the paper uses its cycle-accurate simulator for.
+
+Execution runs through the compiled engine (:mod:`repro.sim.engine`):
+:meth:`CGRASimulator.run` compiles the mapping once into per-phase
+firing/transport tables and replays them.  The original interpreted loop
+survives as :meth:`CGRASimulator.run_reference` — the conformance oracle
+the engine must match bit for bit (same report, same trace, same errors;
+``tests/test_sim_engine.py`` locks this).
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
 
 from repro.errors import SimulationError
 from repro.ir.graph import DFG
-from repro.ir.interpreter import DFGInterpreter, MemoryImage
+from repro.ir.interpreter import MemoryImage
 from repro.ir.ops import OP_ARITY, Opcode, evaluate, to_unsigned
 from repro.mapping.base import Mapping
+from repro.sim.engine import (
+    CompiledSchedule, SimulationReport, compare_images, compile_mapping,
+    finish_verify,
+)
 from repro.sim.spm import Scratchpad
 from repro.sim.trace import TraceRecorder
 
-
-@dataclass
-class SimulationReport:
-    """Outcome of one simulation window."""
-
-    iterations: int
-    cycles: int
-    fu_firings: int = 0
-    spm_reads: int = 0
-    spm_writes: int = 0
-    transport_occupancies: int = 0
-    verified: bool = False
-    mismatches: list[str] = field(default_factory=list)
-
-    def summary(self) -> str:
-        status = "VERIFIED" if self.verified else "MISMATCH"
-        return (
-            f"{status}: {self.iterations} iterations in {self.cycles} "
-            f"cycles, {self.fu_firings} firings, "
-            f"{self.spm_reads}r/{self.spm_writes}w SPM"
-        )
+__all__ = ["CGRASimulator", "SimulationReport"]
 
 
 class CGRASimulator:
@@ -61,12 +51,37 @@ class CGRASimulator:
         self.dfg: DFG = mapping.dfg
         self.arch = mapping.arch
         self.trace = trace
+        self._compiled: CompiledSchedule | None = None
 
     # ------------------------------------------------------------------
+    def compiled(self) -> CompiledSchedule:
+        """The mapping's compiled schedule (compiled once, then reused
+        across every window this simulator runs)."""
+        if self._compiled is None:
+            self._compiled = compile_mapping(self.mapping)
+        return self._compiled
+
     def run(self, memory: MemoryImage, iterations: int | None = None,
             verify: bool = True) -> SimulationReport:
         """Simulate ``iterations`` pipelined iterations starting from
         ``memory`` (which is left untouched; the SPM gets a copy)."""
+        return self.compiled().execute(memory, iterations=iterations,
+                                       verify=verify, trace=self.trace)
+
+    def run_batch(self, memories, iterations: int | None = None,
+                  verify: bool = True) -> list[SimulationReport]:
+        """Run many memory windows through one compiled schedule."""
+        return self.compiled().execute_batch(memories, iterations=iterations,
+                                             verify=verify, trace=self.trace)
+
+    # ------------------------------------------------------------------
+    def run_reference(self, memory: MemoryImage,
+                      iterations: int | None = None,
+                      verify: bool = True) -> SimulationReport:
+        """The interpreted simulator: re-derives the schedule per run with
+        per-cycle dict building.  Kept as the conformance oracle for the
+        compiled engine (and as the baseline the simulation-time benchmark
+        measures against)."""
         dfg = self.dfg
         mapping = self.mapping
         ii = mapping.ii
@@ -98,6 +113,13 @@ class CGRASimulator:
                         occupancy_at[abs_cycle].append((place, route.net, k))
                         total_occ += 1
 
+        # Edge -> route-index resolution by structural key (edge identity
+        # does not survive ``dfg.edges`` returning copies).
+        edge_index = {
+            (e.src, e.dst, e.operand_index, e.distance): i
+            for i, e in enumerate(dfg.edges)
+        }
+
         outputs: dict[tuple[int, int], int] = {}
         place_values: dict[int, dict[tuple[int, int], int]] = {}
         report = SimulationReport(iterations=total_iters,
@@ -110,7 +132,7 @@ class CGRASimulator:
             fired: list[tuple[int, int, int]] = []
             for node_id, k in exec_at.get(cycle, ()):
                 value = self._fire(node_id, k, cycle, place_values,
-                                   outputs, spm, report)
+                                   outputs, spm, report, edge_index)
                 fired.append((node_id, k, value))
             for node_id, k, value in fired:
                 outputs[(node_id, k)] = value
@@ -141,18 +163,13 @@ class CGRASimulator:
             place_values = next_values
 
         final = spm.dump_image()
-        if verify:
-            interp = DFGInterpreter(dfg)
-            interp.run(reference, iterations=total_iters)
-            report.mismatches = self._compare(reference, final)
-            report.verified = not report.mismatches
-        else:
-            report.verified = True
-        return report
+        return finish_verify(report, dfg, reference, final, total_iters,
+                             verify)
 
     # ------------------------------------------------------------------
     def _fire(self, node_id: int, k: int, cycle: int, place_values,
-              outputs, spm: Scratchpad, report: SimulationReport) -> int:
+              outputs, spm: Scratchpad, report: SimulationReport,
+              edge_index: dict) -> int:
         dfg = self.dfg
         node = dfg.node(node_id)
         operands: dict[int, int] = {}
@@ -164,7 +181,8 @@ class CGRASimulator:
                 operands[edge.operand_index] = to_unsigned(
                     int(node.annotations.get("init", 0)))
                 continue
-            index = self._edge_index(edge)
+            index = edge_index[(edge.src, edge.dst, edge.operand_index,
+                                edge.distance)]
             route = self.mapping.routes[index]
             key = (edge.src, producer_iter)
             if route.bypass:
@@ -228,32 +246,6 @@ class CGRASimulator:
         return evaluate(node.op, args)
 
     # ------------------------------------------------------------------
-    def _edge_index(self, edge) -> int:
-        index = getattr(self, "_edge_index_cache", None)
-        if index is None:
-            index = {id(e): i for i, e in enumerate(self.dfg.edges)}
-            # identity does not survive dfg.edges returning copies; key by
-            # tuple instead
-            index = {}
-            for i, e in enumerate(self.dfg.edges):
-                index[(e.src, e.dst, e.operand_index, e.distance)] = i
-            self._edge_index_cache = index
-        return index[(edge.src, edge.dst, edge.operand_index, edge.distance)]
-
     @staticmethod
     def _compare(expected: MemoryImage, actual: MemoryImage) -> list[str]:
-        mismatches = []
-        for name in expected.names:
-            want = expected.array(name)
-            if name not in actual.names:
-                mismatches.append(f"array '{name}' missing from SPM")
-                continue
-            got = actual.array(name)
-            for index, (w, g) in enumerate(zip(want, got)):
-                if w != g:
-                    mismatches.append(
-                        f"'{name}'[{index}]: expected {w}, got {g}"
-                    )
-                    if len(mismatches) > 10:
-                        return mismatches
-        return mismatches
+        return compare_images(expected, actual)

@@ -7,15 +7,25 @@ number.  The simulator executes exactly that program against real data and
 verifies the final arrays against the reference interpreter, which checks
 the partitioner's correctness: phase coverage, spill bookkeeping, and the
 constraint that loop-carried circuits never straddle phases.
+
+Report accounting and verification share the engine layer
+(:mod:`repro.sim.engine`): :meth:`SpatialSimulator.simulate` returns the
+same :class:`~repro.sim.engine.SimulationReport` the temporal simulator
+produces — firings per node execution, SPM traffic including spill
+stores/reloads, the phased mapping's cycle model, and the tri-state
+``verified`` flag — so the harness and CLI print one report format for
+every fabric style.
 """
 
 from __future__ import annotations
 
 from repro.errors import SimulationError
 from repro.ir.graph import DFG
-from repro.ir.interpreter import DFGInterpreter, MemoryImage
+from repro.ir.interpreter import MemoryImage
 from repro.ir.ops import OP_ARITY, Opcode, evaluate, to_unsigned
 from repro.mapping.spatial_mapper import SpatialMapping
+from repro.sim.engine import SimulationReport, finish_verify
+from repro.sim.trace import TraceRecorder
 
 
 def _spill_name(net: int) -> str:
@@ -25,18 +35,32 @@ def _spill_name(net: int) -> str:
 class SpatialSimulator:
     """Execute a phased spatial mapping functionally."""
 
-    def __init__(self, mapping: SpatialMapping) -> None:
+    def __init__(self, mapping: SpatialMapping,
+                 trace: TraceRecorder | None = None) -> None:
         self.mapping = mapping
         self.dfg: DFG = mapping.dfg
+        self.trace = trace
 
     def run(self, memory: MemoryImage, iterations: int | None = None,
             verify: bool = True) -> list[str]:
         """Run all phases; returns the list of mismatches (empty = good)."""
+        return self.simulate(memory, iterations=iterations,
+                             verify=verify).mismatches
+
+    def simulate(self, memory: MemoryImage, iterations: int | None = None,
+                 verify: bool = True) -> SimulationReport:
+        """Run all phases and return the shared simulation report."""
         dfg = self.dfg
         total_iters = dfg.iterations if iterations is None else iterations
+        if total_iters < 1:
+            raise SimulationError("need at least one iteration")
         reference = memory.copy()
         working = memory.copy()
         spills: dict[str, list[int]] = {}
+        report = SimulationReport(
+            iterations=total_iters,
+            cycles=self.mapping.total_cycles(total_iters),
+        )
 
         for phase in self.mapping.phases:
             members = [item.node_id for item in phase.items
@@ -49,31 +73,26 @@ class SpatialSimulator:
                 values: dict[int, int] = {}
                 for node_id in order:
                     value = self._execute(node_id, k, indices, member_set,
-                                          values, history, working, spills)
+                                          values, history, working, spills,
+                                          report)
                     values[node_id] = value
                     history[node_id].append(value)
+                    if self.trace is not None:
+                        self.trace.record(phase.index, "exec",
+                                          node=node_id, iteration=k,
+                                          phase=phase.index, value=value)
                 # Spill stores for cut values.
                 for item in phase.items:
                     if item.kind == "spill_store":
+                        report.spm_writes += 1
+                        report.transport_occupancies += 1
                         spills.setdefault(
                             _spill_name(item.node_id),
                             [0] * total_iters,
                         )[k] = values[item.node_id]
 
-        if not verify:
-            return []
-        DFGInterpreter(dfg).run(reference, iterations=total_iters)
-        mismatches: list[str] = []
-        for name in reference.names:
-            want = reference.array(name)
-            got = working.array(name)
-            for index, (w, g) in enumerate(zip(want, got)):
-                if w != g:
-                    mismatches.append(
-                        f"'{name}'[{index}]: expected {w}, got {g}")
-                    if len(mismatches) > 10:
-                        return mismatches
-        return mismatches
+        return finish_verify(report, dfg, reference, working, total_iters,
+                             verify)
 
     # ------------------------------------------------------------------
     def _phase_order(self, member_set: set[int]) -> list[int]:
@@ -100,7 +119,8 @@ class SpatialSimulator:
 
     def _execute(self, node_id: int, k: int, indices, member_set,
                  values, history, working: MemoryImage,
-                 spills: dict[str, list[int]]) -> int:
+                 spills: dict[str, list[int]],
+                 report: SimulationReport) -> int:
         dfg = self.dfg
         node = dfg.node(node_id)
         operands: dict[int, int] = {}
@@ -116,6 +136,8 @@ class SpatialSimulator:
                         raise SimulationError(
                             f"phase reads unspilled value of node {edge.src}"
                         )
+                    report.spm_reads += 1
+                    report.transport_occupancies += 1
                     operands[edge.operand_index] = spill[k]
             else:
                 src_iter = k - edge.distance
@@ -129,10 +151,13 @@ class SpatialSimulator:
                 else:
                     operands[edge.operand_index] = history[edge.src][src_iter]
 
+        report.fu_firings += 1
         if node.op is Opcode.LOAD:
+            report.spm_reads += 1
             return working.read(node.access.array,
                                 node.access.address(indices))
         if node.op is Opcode.STORE:
+            report.spm_writes += 1
             value = operands.get(0)
             if value is None and node.const is not None:
                 value = to_unsigned(node.const)

@@ -87,6 +87,11 @@ class Scratchpad:
             )
         return base + index
 
+    @property
+    def accesses_this_cycle(self) -> int:
+        """Port charges since the last :meth:`begin_cycle` (diagnostics)."""
+        return self._accesses_this_cycle
+
     def read(self, array: str, index: int) -> int:
         self._check_port()
         return self._data[self._offset(array, index)]

@@ -30,6 +30,13 @@ class TraceRecorder:
             return
         self.events.append(TraceEvent(cycle, kind, detail))
 
+    def clear(self) -> None:
+        """Drop every recorded event (reuse one recorder across runs)."""
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
     def render(self, head: int | None = None) -> str:
         events = self.events if head is None else self.events[:head]
         return "\n".join(event.render() for event in events)

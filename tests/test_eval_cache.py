@@ -180,6 +180,42 @@ def test_binary_garbage_entry_recovered(store):
     assert store.get(fp) == result
 
 
+def test_contains_is_false_for_stale_entries(store):
+    """Regression: ``in`` once reported True for schema-stale entries
+    that ``get()`` would treat as misses."""
+    result = _result()
+    fp = evaluation_fingerprint("dwconv", "plaid")
+    store.put(fp, result)
+
+    newer = cache.ResultStore(store.root,
+                              schema_version=cache.SCHEMA_VERSION + 1)
+    # Membership probed BEFORE any get(): must already read as absent.
+    assert fp not in newer
+    # The probe is read-only: no deletion, no stats mutation.
+    assert newer._entry_path(fp).exists()
+    assert newer.stats.stale == 0 and newer.stats.misses == 0
+    # And get() agrees (and heals the slot as usual).
+    assert newer.get(fp) is None
+    assert fp not in newer
+
+
+def test_contains_is_false_for_corrupt_entries(store):
+    """Regression: ``in`` once reported True for corrupt entries."""
+    fp = evaluation_fingerprint("dwconv", "plaid")
+    path = store._entry_path(fp)
+    path.write_text("garbage{{{")
+    assert fp not in store                  # no get() call first
+    assert path.exists()                    # probe did not delete
+    assert store.stats.corrupt == 0         # ... or count anything
+    assert store.get(fp) is None            # get() agrees and heals
+    assert not path.exists()
+
+    path.write_bytes(b"\xff\xfe\x00garbage")    # binary damage too
+    assert fp not in store
+    store.put(fp, _result())
+    assert fp in store                      # healthy entries still match
+
+
 def test_corrupt_entry_heals_through_harness(tmp_path):
     """End to end: a damaged cache file silently recomputes."""
     configure_store(tmp_path / "store")

@@ -103,6 +103,66 @@ def test_failures_with_active_store_do_not_abort(tmp_path, jobs):
     assert again.evaluated == 0
 
 
+def test_poisoned_cell_reported_not_fatal(monkeypatch):
+    """Regression: a cell raising a non-ReproError (a bug in one
+    evaluation) must become a per-cell failure, not a sweep abort."""
+    real = harness.evaluate_kernel
+
+    def poisoned(workload, arch_key, mapper_key=None, **kwargs):
+        if workload == "conv2x2":
+            raise RuntimeError("poisoned cell")
+        return real(workload, arch_key, mapper_key, **kwargs)
+
+    monkeypatch.setattr(harness, "evaluate_kernel", poisoned)
+    cells = parallel.build_grid(WORKLOADS, ["plaid"])
+    report = parallel.run_sweep(cells, jobs=1)
+    assert [o.ok for o in report.outcomes] == [True, False, True]
+    (failure,) = report.failures
+    assert failure.error_type == "RuntimeError"
+    assert "poisoned cell" in failure.error
+    # Unexpected exceptions are not memoized as deterministic failures.
+    assert harness.failure_for("conv2x2", "plaid") is None
+
+
+def test_worker_returns_structured_failure_for_unexpected_exception(
+        monkeypatch):
+    """The worker function itself (the code that runs inside pool.map)
+    must capture arbitrary exceptions into its structured return."""
+    def boom(workload, arch_key, mapper_key=None, **kwargs):
+        raise ValueError("worker bug")
+
+    monkeypatch.setattr(harness, "evaluate_kernel", boom)
+    index, payload, error, error_type, seconds, stats = \
+        parallel._worker_evaluate((5, ("dwconv", "plaid", "plaid"), None))
+    assert index == 5
+    assert payload is None
+    assert error_type == "ValueError" and "worker bug" in error
+    assert seconds >= 0.0 and stats == {}
+
+
+def test_poisoned_cell_parallel_pool(monkeypatch):
+    """End to end through the process pool (fork start method inherits
+    the poisoned harness): the sweep completes with one failed cell."""
+    import multiprocessing
+
+    if multiprocessing.get_start_method() != "fork":
+        pytest.skip("poisoning workers requires fork inheritance")
+    real = harness.evaluate_kernel
+
+    def poisoned(workload, arch_key, mapper_key=None, **kwargs):
+        if workload == "conv2x2":
+            raise RuntimeError("poisoned cell")
+        return real(workload, arch_key, mapper_key, **kwargs)
+
+    monkeypatch.setattr(harness, "evaluate_kernel", poisoned)
+    cells = parallel.build_grid(WORKLOADS, ["plaid"])
+    report = parallel.run_sweep(cells, jobs=2)
+    assert [o.ok for o in report.outcomes] == [True, False, True]
+    (failure,) = report.failures
+    assert failure.error_type == "RuntimeError"
+    assert "poisoned cell" in failure.error
+
+
 def test_mapping_failures_are_captured_per_cell():
     """A generic mapper failing on the trimmed Plaid fabric (the Fig. 18
     scenario) is reported, not raised."""

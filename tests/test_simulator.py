@@ -74,6 +74,65 @@ def test_spm_unknown_array():
         spm.read("ghost", 0)
 
 
+def test_spm_ports_shared_by_reads_and_writes():
+    """Port accounting is per access, not per direction: a read and a
+    write together saturate a 2-bank SPM."""
+    spm = Scratchpad(banks=2)
+    spm.allocate("a", 8)
+    spm.begin_cycle()
+    spm.read("a", 0)
+    spm.write("a", 1, 42)
+    with pytest.raises(SimulationError):
+        spm.write("a", 2, 43)
+    # The successful accesses landed before the port check tripped.
+    assert spm.accesses_this_cycle == 3
+
+
+def test_spm_failed_access_still_charges_a_port():
+    """An out-of-bounds access charges its port before faulting — the
+    request occupied the port even though it failed."""
+    spm = Scratchpad(banks=2)
+    spm.allocate("a", 2)
+    spm.begin_cycle()
+    with pytest.raises(SimulationError):
+        spm.read("a", 99)
+    assert spm.accesses_this_cycle == 1
+    spm.read("a", 0)                        # one port still free
+    with pytest.raises(SimulationError):
+        spm.read("a", 1)                    # ... but only one
+
+
+def test_spm_port_counter_resets_each_cycle():
+    spm = Scratchpad(banks=1)
+    spm.allocate("a", 4)
+    for cycle in range(3):
+        spm.begin_cycle()
+        assert spm.accesses_this_cycle == 0
+        spm.write("a", cycle, cycle)
+        assert spm.accesses_this_cycle == 1
+        with pytest.raises(SimulationError):
+            spm.read("a", 0)
+
+
+def test_spm_exact_port_capacity_is_legal():
+    spm = Scratchpad(banks=4)
+    spm.allocate("a", 8)
+    spm.begin_cycle()
+    for index in range(4):                  # exactly banks accesses: fine
+        spm.read("a", index)
+    with pytest.raises(SimulationError):
+        spm.read("a", 4)                    # banks + 1 trips
+
+
+def test_spm_reallocate_same_or_smaller_is_idempotent():
+    spm = Scratchpad(banks=1, bytes_per_bank=32)    # 16 words
+    base = spm.allocate("a", 8)
+    assert spm.allocate("a", 8) == base     # same size: same base
+    assert spm.allocate("a", 4) == base     # smaller: same base
+    with pytest.raises(SimulationError):
+        spm.allocate("a", 9)                # growing is an error
+
+
 # ---------------------------------------------------------------------------
 # Simulator end-to-end
 # ---------------------------------------------------------------------------
