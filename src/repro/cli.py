@@ -12,7 +12,14 @@ Commands:
   or the reproduction ``scorecard``;
 * ``sweep``    — evaluate a workload x architecture grid in parallel
   (``--jobs N``) through the persistent result store (``--cache-dir``,
-  ``--no-cache``), emitting a table, JSON, or CSV;
+  ``--no-cache``), emitting a table, JSON, or CSV; ``--shard i/N``
+  evaluates one deterministic fingerprint-partitioned shard of the grid
+  and ``--manifest FILE`` makes the run resumable across crashes and
+  hosts (see :mod:`repro.eval.distributed`);
+* ``cache``    — manage result-store directories: ``merge`` unions
+  shard stores (byte-preserving, deterministic conflict policy),
+  ``stats`` inventories one, ``gc`` prunes corrupt/stale/expired
+  entries;
 * ``mappers``  — list every registered mapper (the registry in
   :mod:`repro.mapping.engine` is the single source of truth; ``--mapper``
   choices everywhere derive from it);
@@ -149,11 +156,14 @@ def cmd_report(args) -> int:
 
 
 def cmd_sweep(args) -> int:
-    from repro.eval import harness, parallel
+    from pathlib import Path
+
+    from repro.eval import distributed, harness, parallel
     from repro.eval.cache import CACHE_DIR_ENV
     from repro.eval.reporting import (
         render_sweep, sweep_to_csv, sweep_to_json,
     )
+    from repro.utils.atomicio import atomic_write_text
     import os
 
     if args.mapper:
@@ -161,24 +171,63 @@ def cmd_sweep(args) -> int:
         # instead of reporting every grid cell as failed.
         from repro.mapping.engine import get_mapper
         get_mapper(args.mapper)
+    shard = distributed.parse_shard(args.shard) if args.shard else None
 
     if args.no_cache:
-        harness.configure_store(None)
+        store = harness.configure_store(None)
     else:
         cache_dir = args.cache_dir \
             or os.environ.get(CACHE_DIR_ENV, "").strip() \
             or ".repro-cache"
-        harness.configure_store(cache_dir)
+        store = harness.configure_store(cache_dir)
 
     workloads = None
     if args.workloads:
         workloads = [name.strip()
                      for name in args.workloads.split(",") if name.strip()]
-    cells = parallel.build_grid(workloads=workloads, arch_keys=args.arch,
-                                mapper=args.mapper)
+
+    manifest = None
+    manifest_path = Path(args.manifest) if args.manifest else None
+    if manifest_path is not None and manifest_path.exists():
+        # An existing manifest is authoritative for the grid; grid flags
+        # are only accepted when they describe the very same grid.
+        manifest = distributed.SweepManifest.load(manifest_path)
+        manifest.verify()
+        if args.workloads or args.arch or args.mapper:
+            built = parallel.build_grid(workloads=workloads,
+                                        arch_keys=args.arch,
+                                        mapper=args.mapper)
+            if built != manifest.grid:
+                raise ReproError(
+                    f"manifest {manifest_path} records a different grid "
+                    "than the --workloads/--arch/--mapper flags; drop "
+                    "the grid flags to resume it, or start a fresh "
+                    "manifest file")
+        cells = manifest.grid
+    else:
+        cells = parallel.build_grid(workloads=workloads,
+                                    arch_keys=args.arch,
+                                    mapper=args.mapper)
+        if manifest_path is not None:
+            manifest = distributed.SweepManifest.from_cells(
+                cells, shards=shard.count if shard else 1)
+            manifest.save(manifest_path)
+
+    if manifest is not None:
+        # Resume semantics: only cells neither marked done nor already
+        # present in the (possibly merged) store are dispatched.
+        run_cells = manifest.pending(store, shard=shard)
+    elif shard is not None:
+        run_cells = distributed.shard_cells(cells, shard)
+    else:
+        run_cells = cells
+
     jobs = args.jobs if args.jobs is not None else parallel.default_jobs()
-    report = parallel.run_sweep(cells, jobs=jobs,
+    report = parallel.run_sweep(run_cells, jobs=jobs,
                                 use_cache=not args.no_cache)
+    if manifest is not None:
+        manifest.mark(report)
+        manifest.save(manifest_path)
 
     if args.format == "json":
         text = sweep_to_json(report)
@@ -187,14 +236,74 @@ def cmd_sweep(args) -> int:
     else:
         text = render_sweep(report)
     if args.output:
-        with open(args.output, "w") as handle:
-            handle.write(text + "\n")
+        # Atomic: a crash (or a concurrent reader / rsync) must never
+        # observe a truncated results file.
+        atomic_write_text(args.output, text + "\n")
         print(report.summary())
     else:
         print(text)
         if args.format != "table":
             print(report.summary(), file=sys.stderr)
+    if manifest is not None:
+        print(manifest.summary(),
+              file=sys.stderr if args.format != "table" and not args.output
+              else sys.stdout)
     return 0 if not report.failures else 1
+
+
+def _cache_dir_argument(args) -> "str":
+    """Resolve the store directory for ``repro cache stats/gc``."""
+    import os
+    from pathlib import Path
+
+    from repro.eval.cache import CACHE_DIR_ENV
+
+    root = args.dir or os.environ.get(CACHE_DIR_ENV, "").strip() \
+        or ".repro-cache"
+    if not Path(root).is_dir():
+        raise ReproError(f"no store directory at {root}")
+    return root
+
+
+def cmd_cache_merge(args) -> int:
+    from repro.eval.distributed import merge_stores
+
+    report = merge_stores(args.sources, args.into)
+    print(report.summary())
+    for fp in report.conflicts[:10]:
+        print(f"conflict: {fp}")
+    if len(report.conflicts) > 10:
+        print(f"... and {len(report.conflicts) - 10} more conflicts")
+    # Exit 1 flags merges that need attention (conflicts mean two hosts
+    # disagreed on a deterministic evaluation — usually version skew).
+    return 0 if report.clean else 1
+
+
+def cmd_cache_stats(args) -> int:
+    import dataclasses
+    import json
+
+    from repro.eval.distributed import inventory
+
+    inv = inventory(_cache_dir_argument(args))
+    if args.json:
+        data = dataclasses.asdict(inv)
+        # JSON objects can't key on None/int: stringify schema keys.
+        data["by_schema"] = {str(k): v for k, v in inv.by_schema.items()}
+        print(json.dumps(data, indent=2, sort_keys=True))
+    else:
+        print(inv.render())
+    return 0
+
+
+def cmd_cache_gc(args) -> int:
+    from repro.eval.distributed import gc_store, parse_duration
+
+    older_than = parse_duration(args.older_than) if args.older_than else None
+    report = gc_store(_cache_dir_argument(args), schema=args.schema,
+                      older_than=older_than)
+    print(report.summary())
+    return 0
 
 
 def cmd_workloads(_args) -> int:
@@ -305,8 +414,61 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--format", choices=["table", "json", "csv"],
                          default="table")
     p_sweep.add_argument("--output", metavar="FILE",
-                         help="write results to FILE instead of stdout")
+                         help="write results to FILE instead of stdout "
+                              "(atomic: readers never see a partial file)")
+    p_sweep.add_argument("--shard", metavar="I/N",
+                         help="evaluate only shard I of an N-way "
+                              "fingerprint partition of the grid "
+                              "(deterministic: every host agrees which "
+                              "shard owns which cell; shards 1..N union "
+                              "to the full grid)")
+    p_sweep.add_argument("--manifest", metavar="FILE",
+                         help="sweep manifest for resumable multi-host "
+                              "runs: created (with the grid and shard "
+                              "assignment) when FILE does not exist, "
+                              "otherwise loaded — only cells not yet "
+                              "done and missing from the store are "
+                              "re-evaluated")
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_cache = sub.add_parser(
+        "cache", help="manage result-store directories",
+        description=(
+            "Maintenance for the persistent result store: merge unions "
+            "shard stores fingerprint-by-fingerprint (byte-preserving, "
+            "deterministic conflict policy — damaged or schema-"
+            "mismatched entries are skipped and reported, newer-schema "
+            "destination entries are never overwritten); stats "
+            "inventories one store; gc prunes corrupt, schema-"
+            "mismatched, and expired entries."
+        ))
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    p_merge = cache_sub.add_parser(
+        "merge", help="union shard stores into one directory")
+    p_merge.add_argument("sources", nargs="+", metavar="SRC",
+                         help="source store directories (left unmodified)")
+    p_merge.add_argument("--into", required=True, metavar="DST",
+                         help="destination store (created if missing)")
+    p_merge.set_defaults(func=cmd_cache_merge)
+    p_stats = cache_sub.add_parser(
+        "stats", help="inventory one store directory")
+    p_stats.add_argument("dir", nargs="?", metavar="DIR",
+                         help="store directory (default: $REPRO_CACHE_DIR "
+                              "or .repro-cache)")
+    p_stats.add_argument("--json", action="store_true",
+                         help="machine-readable output")
+    p_stats.set_defaults(func=cmd_cache_stats)
+    p_gc = cache_sub.add_parser(
+        "gc", help="prune corrupt/stale/expired entries")
+    p_gc.add_argument("dir", nargs="?", metavar="DIR",
+                      help="store directory (default: $REPRO_CACHE_DIR "
+                           "or .repro-cache)")
+    p_gc.add_argument("--schema", type=int, metavar="N",
+                      help="remove entries whose schema differs from N")
+    p_gc.add_argument("--older-than", dest="older_than", metavar="AGE",
+                      help="remove entries older than AGE "
+                           "(e.g. 3600, 90m, 12h, 7d)")
+    p_gc.set_defaults(func=cmd_cache_gc)
 
     p_wl = sub.add_parser("workloads", help="list evaluated workloads")
     p_wl.set_defaults(func=cmd_workloads)

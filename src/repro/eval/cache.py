@@ -29,17 +29,18 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterator
 
-from repro.utils.signature import arch_signature
+from repro.utils.atomicio import atomic_write_text, is_temp_file
+from repro.utils.signature import arch_signature, canonical_json
 
 __all__ = [
-    "CACHE_DIR_ENV", "CachedFailure", "ResultStore", "SCHEMA_VERSION",
-    "StoreStats", "arch_signature", "default_store", "fingerprint",
-    "result_from_dict", "result_to_dict", "workload_signature",
+    "CACHE_DIR_ENV", "CachedFailure", "RawEntry", "ResultStore",
+    "SCHEMA_VERSION", "StoreStats", "arch_signature", "default_store",
+    "fingerprint", "load_raw_entry", "result_from_dict", "result_to_dict",
+    "workload_signature",
 ]
 
 if TYPE_CHECKING:   # pragma: no cover - import cycle guard (harness imports us)
@@ -90,8 +91,7 @@ def fingerprint(spec: "WorkloadSpec", arch: "Architecture",
         "mapper": mapper_key,
         "seed": seed,
     }
-    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
 
 
 # ---------------------------------------------------------------------------
@@ -183,6 +183,68 @@ class CachedFailure:
 
 
 # ---------------------------------------------------------------------------
+# Raw entry access (the distributed merge/stats/gc tooling reads entries
+# without adopting them: exact text preserved, nothing deleted on contact)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class RawEntry:
+    """One entry file as the merge tooling sees it.
+
+    ``status`` is judged against a *target* schema version: ``ok``
+    (decodes, matches the target, payload parses), ``stale`` (decodes
+    but carries a different schema — ``schema`` says which), or
+    ``corrupt`` (truncated/garbled text or an unparseable payload).
+    ``text`` is the file's exact content, so copying an ``ok`` entry
+    into another store is byte-preserving.
+    """
+
+    fingerprint: str
+    text: str
+    status: str                 # 'ok' | 'stale' | 'corrupt'
+    schema: int | None          # the entry's own schema, when decodable
+    is_failure: bool = False    # ok entries: CachedFailure vs result
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+def _classify_entry_text(raw: str, schema_version: int
+                         ) -> "tuple[str, KernelResult | CachedFailure | None, int | None]":
+    """Decode one entry text: (status, payload, entry schema)."""
+    try:
+        entry = json.loads(raw)
+        if not isinstance(entry, dict):
+            raise ValueError("entry is not an object")
+        schema = entry.get("schema")
+        schema = schema if isinstance(schema, int) else None
+        if schema != schema_version:
+            return "stale", None, schema
+        if "failure" in entry:
+            return "ok", CachedFailure(
+                error_type=str(entry["failure"]["type"]),
+                message=str(entry["failure"]["message"]),
+            ), schema
+        return "ok", result_from_dict(entry["result"]), schema
+    except (ValueError, KeyError, TypeError):
+        return "corrupt", None, None
+
+
+def load_raw_entry(path: Path, schema_version: int = SCHEMA_VERSION
+                   ) -> RawEntry:
+    """Classify one entry file against ``schema_version`` (pure read)."""
+    fp = path.stem
+    try:
+        raw = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError):
+        return RawEntry(fingerprint=fp, text="", status="corrupt",
+                        schema=None)
+    status, payload, schema = _classify_entry_text(raw, schema_version)
+    return RawEntry(fingerprint=fp, text=raw, status=status, schema=schema,
+                    is_failure=isinstance(payload, CachedFailure))
+
+
+# ---------------------------------------------------------------------------
 # The store
 # ---------------------------------------------------------------------------
 @dataclass
@@ -215,8 +277,12 @@ class ResultStore:
         self.root.mkdir(parents=True, exist_ok=True)
 
     # -- paths ----------------------------------------------------------
-    def _entry_path(self, fp: str) -> Path:
+    def entry_path(self, fp: str) -> Path:
+        """Where the entry for ``fp`` lives (whether or not it exists)."""
         return self.root / f"{fp}.json"
+
+    # Historical internal name, kept for callers/tests that grew around it.
+    _entry_path = entry_path
 
     # -- read -----------------------------------------------------------
     def get(self, fp: str) -> "KernelResult | CachedFailure | None":
@@ -255,20 +321,9 @@ class ResultStore:
             return "missing", None
         except UnicodeDecodeError:     # binary garbage in the entry
             return "corrupt", None
-        try:
-            entry = json.loads(raw)
-            if not isinstance(entry, dict):
-                raise ValueError("entry is not an object")
-            if entry.get("schema") != self.schema_version:
-                return "stale", None
-            if "failure" in entry:
-                return "ok", CachedFailure(
-                    error_type=str(entry["failure"]["type"]),
-                    message=str(entry["failure"]["message"]),
-                )
-            return "ok", result_from_dict(entry["result"])
-        except (ValueError, KeyError, TypeError):
-            return "corrupt", None
+        status, payload, _schema = _classify_entry_text(
+            raw, self.schema_version)
+        return status, payload
 
     def __contains__(self, fp: str) -> bool:
         """Membership consistent with :meth:`get`: schema-stale and
@@ -281,8 +336,11 @@ class ResultStore:
         # Path.glob("*.json") also matches dot-prefixed names, so filter
         # out ".tmp-*" files a killed writer may have left behind.
         for path in sorted(self.root.glob("*.json")):
-            if not path.name.startswith("."):
+            if not is_temp_file(path):
                 yield path
+
+    #: Public iteration for the merge/stats/gc tooling.
+    entry_files = _entries
 
     def __len__(self) -> int:
         return sum(1 for _ in self._entries())
@@ -320,18 +378,18 @@ class ResultStore:
         # reordered cache entry would differ from a fresh evaluation in
         # the last ULP.
         payload = json.dumps(entry, indent=0)
-        tmp_name = None
         try:
-            handle, tmp_name = tempfile.mkstemp(
-                dir=self.root, prefix=".tmp-", suffix=".json")
-            with os.fdopen(handle, "w", encoding="utf-8") as tmp:
-                tmp.write(payload)
-            os.replace(tmp_name, self._entry_path(fp))
+            atomic_write_text(self.entry_path(fp), payload)
         except OSError:
-            if tmp_name is not None:
-                self._discard(Path(tmp_name))
             self.stats.write_errors += 1
             return
+        self.stats.writes += 1
+
+    def put_raw(self, fp: str, text: str) -> None:
+        """Install an entry's exact text (the merge path: byte-preserving
+        adoption of another store's entry).  Unlike :meth:`put`, a write
+        failure here raises — a merge must not silently drop entries."""
+        atomic_write_text(self.entry_path(fp), text)
         self.stats.writes += 1
 
     def clear(self) -> int:

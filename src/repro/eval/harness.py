@@ -131,6 +131,12 @@ _STORE_RESOLVED = False
 
 EVAL_STATS = EvalStats()
 
+#: Fingerprint memo: configs are immutable between clear_caches() calls
+#: (build_arch is cached the same way), and sharding/manifest checks
+#: fingerprint whole grids at once — no point re-walking the arch
+#: signature per call.
+_FP_MEMO: dict[tuple[str, str, str], str] = {}
+
 
 def configure_store(store: result_cache.ResultStore | str | None
                     ) -> result_cache.ResultStore | None:
@@ -166,9 +172,31 @@ def evaluation_fingerprint(workload: str, arch_key: str,
                            mapper_key: str | None = None) -> str:
     """Persistent-store key for one configuration."""
     mapper_key = resolve_mapper(arch_key, mapper_key)
+    key = (workload, arch_key, mapper_key)
+    cached = _FP_MEMO.get(key)
+    if cached is not None:
+        return cached
     seed = _seed_for(workload, arch_key, mapper_key)
-    return result_cache.fingerprint(
+    fp = result_cache.fingerprint(
         get_workload(workload), build_arch(arch_key), mapper_key, seed)
+    _FP_MEMO[key] = fp
+    return fp
+
+
+def try_fingerprint(workload: str, arch_key: str,
+                    mapper_key: str | None = None) -> str | None:
+    """:func:`evaluation_fingerprint`, tolerant of unresolvable cells.
+
+    A grid may name an unknown workload or architecture (the sweep
+    reports those as per-cell failures rather than refusing the run);
+    such cells have no fingerprint — callers that key on fingerprints
+    (shard assignment, manifests) get ``None`` and fall back to a digest
+    of the raw cell key.
+    """
+    try:
+        return evaluation_fingerprint(workload, arch_key, mapper_key)
+    except ReproError:
+        return None
 
 
 def evaluate_kernel(workload: str, arch_key: str,
@@ -337,6 +365,7 @@ def clear_caches() -> None:
     global _STORE, _STORE_RESOLVED
     _MEMO.clear()
     _FAILED.clear()
+    _FP_MEMO.clear()
     _STORE = None
     _STORE_RESOLVED = False
     EVAL_STATS.reset()

@@ -1,0 +1,64 @@
+"""Crash- and rsync-safe file writes.
+
+Every durable artifact of a sweep — result-store entries, sweep
+manifests, ``repro sweep --output`` files — goes through
+:func:`atomic_write_text`: the payload is written to a ``.tmp-*`` file
+in the destination directory and ``os.replace``d into place.  A reader
+(or an ``rsync`` of the directory) therefore only ever observes either
+the previous complete file or the new complete file, never a partially
+written one — the property the distributed shard-and-merge workflow
+(:mod:`repro.eval.distributed`) relies on when cache directories are
+copied between hosts mid-run.
+
+Temp files are dot-prefixed so directory scans that enumerate entries
+(:meth:`repro.eval.cache.ResultStore._entries`) can skip debris a killed
+writer left behind; :func:`is_temp_file` names the convention once.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+#: Prefix of in-flight temp files (dot-prefixed: entry scans skip them).
+TEMP_PREFIX = ".tmp-"
+
+
+def is_temp_file(path: "Path | str") -> bool:
+    """Whether ``path`` is an in-flight/abandoned atomic-write temp file."""
+    return Path(path).name.startswith(TEMP_PREFIX)
+
+
+def atomic_write_text(path: "Path | str", text: str, *,
+                      encoding: str = "utf-8") -> None:
+    """Write ``text`` to ``path`` so readers never see a partial file.
+
+    The temp file lives in ``path``'s directory (``os.replace`` must not
+    cross filesystems).  On any failure — including the writer dying
+    mid-write — the destination keeps its previous content; the temp
+    file is removed when this code still runs, and is skippable debris
+    (see :func:`is_temp_file`) when it does not.  ``OSError`` propagates:
+    callers decide whether a failed write is fatal (a manifest) or
+    best-effort (a cache entry).
+    """
+    path = Path(path)
+    handle, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=TEMP_PREFIX, suffix=path.suffix or ".part")
+    try:
+        with os.fdopen(handle, "w", encoding=encoding) as tmp:
+            tmp.write(text)
+            # mkstemp creates 0600; give the replaced file the ordinary
+            # umask-governed mode instead — shard stores, manifests, and
+            # sweep outputs are exactly the files other users/uids read
+            # off a shared or rsync'd directory.
+            umask = os.umask(0)
+            os.umask(umask)
+            os.fchmod(tmp.fileno(), 0o666 & ~umask)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass        # already replaced, or the directory vanished
+        raise

@@ -26,6 +26,18 @@ if TYPE_CHECKING:   # pragma: no cover - avoids an import cycle at runtime
     from repro.arch.base import Architecture
 
 
+def canonical_json(payload) -> str:
+    """The one canonical JSON text used for digesting configurations.
+
+    Sorted keys, no whitespace: two structurally equal payloads always
+    serialize to the same bytes, on any host.  The result-store
+    fingerprints, the MRRG pool keys, and the distributed sweep's shard
+    assignment all hash this text — which is why a shard computed on one
+    machine matches the shard the merge step expects on another.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
 def encode_value(value) -> object:
     """Deterministic, JSON-serializable encoding of a config value."""
     if isinstance(value, (str, int, float, bool)) or value is None:
@@ -71,8 +83,7 @@ def arch_structural_key(arch: "Architecture") -> str:
     """
     cached = getattr(arch, "_structural_key", None)
     if cached is None:
-        canonical = json.dumps(arch_signature(arch), sort_keys=True,
-                               separators=(",", ":"))
+        canonical = canonical_json(arch_signature(arch))
         cached = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
         arch._structural_key = cached
     return cached

@@ -134,6 +134,33 @@ def test_sweep_output_file(tmp_path, capsys):
     clear_caches()
 
 
+def test_sweep_shard_then_cache_stats(tmp_path, capsys):
+    from repro.eval.harness import clear_caches
+
+    clear_caches()
+    assert main(["sweep", "--workloads", "dwconv,conv2x2", "--arch",
+                 "plaid", "--shard", "1/1", "--cache-dir",
+                 str(tmp_path / "cache")]) == 0
+    capsys.readouterr()
+    assert main(["cache", "stats", str(tmp_path / "cache")]) == 0
+    out = capsys.readouterr().out
+    assert "entries: 2" in out and "2 results" in out
+    clear_caches()
+
+
+def test_cache_gc_resolves_env_default_dir(tmp_path, monkeypatch, capsys):
+    from repro.eval.harness import clear_caches
+
+    clear_caches()
+    assert main(["sweep", "--workloads", "dwconv", "--arch", "plaid",
+                 "--cache-dir", str(tmp_path / "cache")]) == 0
+    capsys.readouterr()
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    assert main(["cache", "gc"]) == 0
+    assert "kept 1" in capsys.readouterr().out
+    clear_caches()
+
+
 def test_mappers_listing(capsys):
     assert main(["mappers"]) == 0
     out = capsys.readouterr().out

@@ -250,6 +250,32 @@ def test_unwritable_store_degrades_to_recompute(store, monkeypatch):
     assert store.get(fp) == result
 
 
+def test_put_killed_before_rename_keeps_previous_entry(store, monkeypatch):
+    """Kill-mid-write regression: a writer dying between the temp-file
+    write and the ``os.replace`` must leave the previous entry visible
+    and byte-identical — readers (and an rsync of the directory) never
+    observe a truncated entry."""
+    result = _result()
+    fp = evaluation_fingerprint("dwconv", "plaid")
+    store.put(fp, result)
+    before = store._entry_path(fp).read_bytes()
+
+    from repro.utils import atomicio
+
+    def killed(src, dst):
+        raise OSError(5, "writer killed mid-rename")
+
+    monkeypatch.setattr(atomicio.os, "replace", killed)
+    store.put(fp, result)                       # swallowed, counted
+    assert store.stats.write_errors == 1
+    monkeypatch.undo()
+
+    assert store._entry_path(fp).read_bytes() == before
+    assert store.get(fp) == result
+    # The interrupted write left no temp debris in the entry listing.
+    assert list(store.fingerprints()) == [fp]
+
+
 def test_deterministic_failures_persist_across_processes(tmp_path):
     """A doomed configuration is not re-attempted in a fresh process:
     the failure itself is cached (with its concrete error type)."""

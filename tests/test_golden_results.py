@@ -81,3 +81,27 @@ def test_golden_grid_parallel_matches_too(golden):
     for want in golden["results"]:
         assert measured[(want["workload"], want["arch"])] \
             == (want["ii"], want["cycles"], want["energy"])
+
+
+def test_golden_grid_sharded_union_matches_too(golden, tmp_path):
+    """The same numbers through the distributed path: the grid swept as
+    two fingerprint shards on separate 'hosts' (fresh memo, separate
+    store each) must union to exactly the golden metrics."""
+    from repro.eval.distributed import ShardSpec, shard_cells
+
+    grid = golden["grid"]
+    cells = parallel.build_grid(grid["workloads"], grid["arch_keys"])
+    measured = {}
+    for index in (1, 2):
+        clear_caches()
+        configure_store(tmp_path / f"shard{index}")
+        subset = shard_cells(cells, ShardSpec(index, 2))
+        report = parallel.run_sweep(subset, jobs=1)
+        assert not report.failures, [o.error for o in report.failures]
+        for o in report.outcomes:
+            measured[(o.cell.workload, o.cell.arch_key)] = \
+                (o.result.ii, o.result.cycles, o.result.energy)
+    assert len(measured) == len(golden["results"])
+    for want in golden["results"]:
+        assert measured[(want["workload"], want["arch"])] \
+            == (want["ii"], want["cycles"], want["energy"])

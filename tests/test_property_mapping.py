@@ -174,6 +174,68 @@ def test_sa_mapper_same_seed_same_mapping(seed, workload):
                                  make_spatio_temporal, workload, seed)
 
 
+# ---------------------------------------------------------------------------
+# Shard-assignment properties: the distributed sweep's partition is a
+# pure function of each cell's configuration fingerprint, so it must be
+# a disjoint cover of any grid, invariant under grid ordering and
+# duplicates, and stable across cache state (which is why two hosts —
+# whatever their ``--jobs`` or evaluation order — always agree on which
+# shard owns which cell).
+# ---------------------------------------------------------------------------
+from repro.eval import parallel
+from repro.eval.distributed import ShardSpec, shard_cells, shard_of
+
+#: A representative grid incl. one unfingerprintable cell (unknown
+#: workload): those must shard deterministically too.
+SHARD_GRID = parallel.build_grid(
+    ["dwconv", "conv2x2", "gesum_u2", "atax_u2"],
+    ["st", "spatial", "plaid"],
+) + [parallel.SweepCell(workload="no-such-kernel", arch_key="plaid",
+                        mapper="plaid")]
+
+
+@settings(deadline=None, max_examples=16,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(count=st.integers(1, 8))
+def test_every_cell_lands_in_exactly_one_shard(count):
+    owners = {}
+    for index in range(1, count + 1):
+        for cell in shard_cells(SHARD_GRID, ShardSpec(index, count)):
+            assert cell.key() not in owners, "cell owned by two shards"
+            owners[cell.key()] = index
+    # The shards union to the full grid (nothing dropped) ...
+    assert set(owners) == {cell.key() for cell in SHARD_GRID}
+    # ... and each membership agrees with the direct assignment.
+    for cell in SHARD_GRID:
+        assert owners[cell.key()] == shard_of(cell, count)
+
+
+@settings(deadline=None, max_examples=12,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(count=st.integers(1, 6), data=st.data())
+def test_shard_assignment_invariant_under_grid_ordering(count, data):
+    perm = data.draw(st.permutations(SHARD_GRID))
+    for index in range(1, count + 1):
+        spec = ShardSpec(index, count)
+        assert {cell.key() for cell in shard_cells(perm, spec)} \
+            == {cell.key() for cell in shard_cells(SHARD_GRID, spec)}
+
+
+@settings(deadline=None, max_examples=8,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(count=st.integers(1, 8))
+def test_shard_assignment_stable_across_cache_state(count):
+    """Shard membership may not depend on what this process evaluated or
+    memoized before (the property that makes ``--shard i/N`` safe to
+    compute independently on every host, whatever its ``--jobs``)."""
+    from repro.eval.harness import clear_caches
+
+    before = [shard_of(cell, count) for cell in SHARD_GRID]
+    clear_caches()
+    after = [shard_of(cell, count) for cell in SHARD_GRID]
+    assert before == after
+
+
 @settings(deadline=None, max_examples=6,
           suppress_health_check=[HealthCheck.too_slow])
 @given(seed=st.integers(0, 2**31 - 1))
