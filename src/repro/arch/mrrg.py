@@ -19,12 +19,17 @@ Resources tracked:
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.arch.base import Architecture
 from repro.errors import MappingError
 
 ResourceKey = tuple[str, object]
+
+#: Marker charge plan for routes the bound fast path cannot index.
+#: ``False`` rather than a fresh object(): the marker must survive
+#: pickling/deepcopy of a Route by identity, and False is a singleton.
+_NO_PLAN = False
 
 
 @dataclass(frozen=True)
@@ -52,6 +57,12 @@ class Route:
     arrive_cycle: int               # consumer execution cycle
     places: tuple[tuple[int, int], ...] = ()   # (place_id, cycle) occupancy
     bypass: bool = False
+    #: Memoized commit plan for core-bound MRRGs (one precomputed
+    #: (key, cycle, flat index, is_res, capacity) tuple per step) — the
+    #: annealing mappers commit/uncommit the same route many times while
+    #: trialing candidates.  Derived state only: excluded from equality.
+    charge_plan: tuple | None = field(default=None, compare=False,
+                                      repr=False)
 
 
 class MRRG:
@@ -90,8 +101,27 @@ class MRRG:
         # (same insertion and deletion order) so the congestion queries
         # the router hammers are O(1) instead of per-net sums.
         self._counts: dict[tuple[ResourceKey, int], int] = {}
+        # Slots currently over capacity (key -> None; a dict for its
+        # deterministic insertion order), and the total amount of
+        # overuse.  Maintained by _count_up/_count_down so overuse()
+        # and the mappers' objective terms are O(violations), not
+        # O(all charged slots) — PathFinder and the annealers poll
+        # these after every move.
+        self._overused: dict[tuple[ResourceKey, int], None] = {}
+        self._over_sum = 0
         # Capacities derive from the immutable arch; memoized per resource.
         self._cap_cache: dict[ResourceKey, int] = {}
+        # Compiled routing state (bind_core): the RouteCore's static
+        # tables plus two incremental views the compiled Dijkstra reads —
+        # cost_base[rid * II + slot] = 1.0 + present_factor * overuse
+        # (the history-free step cost of a non-sharing net), and
+        # net_charges[net][rid * II + slot] -> {cycle: refs}, aliasing
+        # the _usage cycle dicts (the fanout-sharing free-segment test).
+        # Both are maintained by _charge/_discharge in lock-step with
+        # _usage/_counts; unbound MRRGs pay nothing.
+        self._core = None
+        self._cost_base: list[float] | None = None
+        self._net_charges: dict[int, dict[int, dict[int, int]]] = {}
 
     def reset(self) -> None:
         """Clear every placement and route charge in place.
@@ -105,6 +135,44 @@ class MRRG:
         self._usage.clear()
         self._fu_nodes.clear()
         self._counts.clear()
+        self._overused.clear()
+        self._over_sum = 0
+        if self._cost_base is not None:
+            self._cost_base[:] = self._core.ones
+            self._net_charges.clear()
+
+    def bind_core(self, core) -> None:
+        """Attach a compiled :class:`~repro.mapping.routecore.RouteCore`.
+
+        Rebuilds the flat congestion arrays from the current usage dicts,
+        so binding is correct at any point in an MRRG's life (the router
+        binds lazily on first use).  From here on _charge/_discharge keep
+        the arrays in lock-step incrementally.
+        """
+        if core.ii != self.ii:
+            raise MappingError(
+                f"route core compiled for II {core.ii}, MRRG has {self.ii}")
+        self._core = core
+        ii = self.ii
+        base = list(core.ones)
+        rid_of = core.rid_of
+        for (resource, slot), count in self._counts.items():
+            rid = rid_of.get(resource)
+            if rid is None:
+                continue
+            over = count + 1 - self.capacity(resource)
+            if over > 0:
+                base[rid * ii + slot] = 1.0 + 4.0 * over
+        self._cost_base = base
+        charges: dict[int, dict[int, dict[int, int]]] = {}
+        for (resource, slot), nets in self._usage.items():
+            rid = rid_of.get(resource)
+            if rid is None:
+                continue
+            index = rid * ii + slot
+            for net, cycles in nets.items():
+                charges.setdefault(net, {})[index] = cycles
+        self._net_charges = charges
 
     # ------------------------------------------------------------------
     # Capacity helpers
@@ -172,15 +240,32 @@ class MRRG:
         cycles = slot_usage.get(net)
         if cycles is None:
             cycles = slot_usage[net] = {}
+            if self._cost_base is not None:
+                rid = self._core.rid_of.get(resource)
+                if rid is not None:
+                    self._net_charges.setdefault(net, {})[
+                        rid * self.ii + key[1]] = cycles
             if resource[0] == "res":        # wires count distinct nets
-                self._counts[key] = self._counts.get(key, 0) + 1
+                self._count_up(key)
         refs = cycles.get(cycle)
         if refs is None:
             cycles[cycle] = 1
             if resource[0] != "res":        # places count (net, cycle) pairs
-                self._counts[key] = self._counts.get(key, 0) + 1
+                self._count_up(key)
         else:
             cycles[cycle] = refs + 1
+
+    def _count_up(self, key: tuple[ResourceKey, int]) -> None:
+        count = self._counts.get(key, 0) + 1
+        self._counts[key] = count
+        cap = self._cap_cache.get(key[0])
+        if cap is None:
+            cap = self.capacity(key[0])
+        if count > cap:
+            self._overused[key] = None
+            self._over_sum += 1
+        if self._cost_base is not None:
+            self._refresh_cost(key, count, cap)
 
     def _count_down(self, key: tuple[ResourceKey, int]) -> None:
         remaining = self._counts[key] - 1
@@ -188,6 +273,29 @@ class MRRG:
             self._counts[key] = remaining
         else:
             del self._counts[key]
+        cap = self._cap_cache.get(key[0])
+        if cap is None:
+            cap = self.capacity(key[0])
+        if remaining >= cap:
+            if remaining == cap:
+                del self._overused[key]
+            self._over_sum -= 1
+        if self._cost_base is not None:
+            self._refresh_cost(key, remaining, cap)
+
+    def _refresh_cost(self, key: tuple[ResourceKey, int], count: int,
+                      cap: int) -> None:
+        """Re-derive one cost_base cell after its count changed.
+
+        Mirrors :meth:`step_cost` exactly: the stored value is the cost a
+        *non-sharing* net pays to add one more charge, history excluded.
+        """
+        rid = self._core.rid_of.get(key[0])
+        if rid is None:
+            return
+        over = count + 1 - cap
+        self._cost_base[rid * self.ii + key[1]] = \
+            1.0 + 4.0 * over if over > 0 else 1.0
 
     def _discharge(self, net: int, resource: ResourceKey, cycle: int) -> None:
         key = (resource, self.slot(cycle))
@@ -204,18 +312,135 @@ class MRRG:
             cycles[cycle] = count - 1
         if not cycles:
             del slot_usage[net]
+            if self._cost_base is not None:
+                net_map = self._net_charges.get(net)
+                if net_map is not None:
+                    rid = self._core.rid_of.get(resource)
+                    if rid is not None:
+                        net_map.pop(rid * self.ii + key[1], None)
+                    if not net_map:
+                        del self._net_charges[net]
             if resource[0] == "res":
                 self._count_down(key)
         if not slot_usage:
             del self._usage[key]
 
     def commit_route(self, route: Route) -> None:
+        if self._cost_base is not None:
+            plan = route.charge_plan
+            if plan is None:
+                plan = route.charge_plan = self._charge_plan(route)
+            if plan is not _NO_PLAN:
+                net = route.net
+                for key, cycle, index, is_res, cap in plan:
+                    self._charge_bound(net, key, cycle, index, is_res, cap)
+                return
         for step in route.steps:
             self._charge(route.net, step.resource, step.cycle)
 
     def uncommit_route(self, route: Route) -> None:
+        if self._cost_base is not None:
+            plan = route.charge_plan
+            if plan is None:
+                plan = route.charge_plan = self._charge_plan(route)
+            if plan is not _NO_PLAN:
+                net = route.net
+                for key, cycle, index, is_res, cap in plan:
+                    self._discharge_bound(net, key, cycle, index,
+                                          is_res, cap)
+                return
         for step in route.steps:
             self._discharge(route.net, step.resource, step.cycle)
+
+    def _charge_plan(self, route: Route):
+        """Precompute per-step charge state for the bound fast path.
+
+        Valid for any MRRG over a structurally equal fabric at the same
+        II (routes never outlive either).  ``_NO_PLAN`` marks routes
+        touching resources the core does not index (only possible for
+        hand-built routes) — those keep the generic path.
+        """
+        core = self._core
+        rid_of = core.rid_of
+        ii = self.ii
+        plan = []
+        for step in route.steps:
+            resource = step.resource
+            rid = rid_of.get(resource)
+            if rid is None:
+                return _NO_PLAN
+            slot = step.cycle % ii
+            plan.append(((resource, slot), step.cycle, rid * ii + slot,
+                         resource[0] == "res", self.capacity(resource)))
+        return tuple(plan)
+
+    def _charge_bound(self, net: int, key, cycle: int, index: int,
+                      is_res: bool, cap: int) -> None:
+        """:meth:`_charge` with every derived value precomputed; must
+        mutate _usage/_counts/_overused/arrays in the exact same order."""
+        slot_usage = self._usage[key]
+        cycles = slot_usage.get(net)
+        if cycles is None:
+            cycles = slot_usage[net] = {}
+            net_map = self._net_charges.get(net)
+            if net_map is None:
+                net_map = self._net_charges[net] = {}
+            net_map[index] = cycles
+            if is_res:
+                self._count_up_bound(key, index, cap)
+        refs = cycles.get(cycle)
+        if refs is None:
+            cycles[cycle] = 1
+            if not is_res:
+                self._count_up_bound(key, index, cap)
+        else:
+            cycles[cycle] = refs + 1
+
+    def _count_up_bound(self, key, index: int, cap: int) -> None:
+        count = self._counts.get(key, 0) + 1
+        self._counts[key] = count
+        if count > cap:
+            self._overused[key] = None
+            self._over_sum += 1
+        over = count + 1 - cap
+        self._cost_base[index] = 1.0 + 4.0 * over if over > 0 else 1.0
+
+    def _discharge_bound(self, net: int, key, cycle: int, index: int,
+                         is_res: bool, cap: int) -> None:
+        slot_usage = self._usage.get(key)
+        if not slot_usage or net not in slot_usage:
+            return
+        cycles = slot_usage[net]
+        count = cycles.get(cycle, 0)
+        if count <= 1:
+            if cycles.pop(cycle, None) is not None and not is_res:
+                self._count_down_bound(key, index, cap)
+        else:
+            cycles[cycle] = count - 1
+        if not cycles:
+            del slot_usage[net]
+            net_map = self._net_charges.get(net)
+            if net_map is not None:
+                net_map.pop(index, None)
+                if not net_map:
+                    del self._net_charges[net]
+            if is_res:
+                self._count_down_bound(key, index, cap)
+        if not slot_usage:
+            del self._usage[key]
+
+    def _count_down_bound(self, key, index: int, cap: int) -> None:
+        remaining = self._counts[key] - 1
+        if remaining:
+            self._counts[key] = remaining
+        else:
+            del self._counts[key]
+        if remaining >= cap:
+            if remaining == cap:
+                del self._overused[key]
+            self._over_sum -= 1
+        over = remaining + 1 - cap
+        self._cost_base[index] = 1.0 + 4.0 * over if over > 0 else 1.0
 
     # ------------------------------------------------------------------
     # Congestion queries
@@ -246,16 +471,23 @@ class MRRG:
         return base + congestion + hist
 
     def overuse(self) -> list[tuple[ResourceKey, int, int, int]]:
-        """(resource, slot, used, capacity) for every violated slot."""
-        violations = []
-        for (resource, slot), used in self._counts.items():
-            cap = self.capacity(resource)
-            if used > cap:
-                violations.append((resource, slot, used, cap))
-        return violations
+        """(resource, slot, used, capacity) for every violated slot.
+
+        O(violations): _count_up/_count_down track the overused key set
+        incrementally (ordered by when each slot first went over), so the
+        negotiation loops can poll this after every commit for free.
+        """
+        counts = self._counts
+        return [(key[0], key[1], counts[key], self.capacity(key[0]))
+                for key in self._overused]
+
+    def total_overuse(self) -> int:
+        """Total charges beyond capacity, summed over every slot — the
+        mappers' congestion objective term, maintained incrementally."""
+        return self._over_sum
 
     def is_legal(self) -> bool:
-        return not self.overuse()
+        return not self._overused
 
     def occupancy_snapshot(self) -> dict[tuple[ResourceKey, int], int]:
         """Usage counts per (resource, slot) — the activity statistics the

@@ -98,12 +98,24 @@ def cmd_map(args) -> int:
         mapping = get_mapper("spatial").make(seed=args.seed).map(dfg, arch)
         print(f"{dfg.name} on {arch.name}: {len(mapping.phases)} phases, "
               f"II sum {mapping.ii_sum}, cycles {mapping.total_cycles()}")
+        if args.verbose:
+            print("search: spatial mappings are phase-partitioned; "
+                  "temporal search statistics do not apply")
         return 0
     mapping = _make_mapper(args, arch).map(dfg, arch)
     print(mapping.summary())
     print(f"mapper: {mapping.stats.mapper}, "
           f"bypass edges: {mapping.stats.bypass_edges}, "
           f"mapping time: {mapping.stats.seconds:.2f}s")
+    if args.verbose:
+        from repro.mapping.router import routing_engine
+
+        stats = mapping.stats
+        print(f"search: {stats.attempts} placement attempts, "
+              f"{stats.routed_edges} edges routed "
+              f"({stats.transport_steps} transport steps), "
+              f"{stats.routing_failures} routing failures, "
+              f"routing engine: {routing_engine()}")
     return 0
 
 
@@ -355,6 +367,10 @@ def build_parser() -> argparse.ArgumentParser:
                                 "st-ml", "plaid-ml"])
     p_map.add_argument("--mapper", metavar="KEY",
                        help="temporal mapper key (see 'repro mappers')")
+    p_map.add_argument("--verbose", action="store_true",
+                       help="also print search statistics (placement "
+                            "attempts, routed edges, routing failures, "
+                            "active routing engine)")
     p_map.set_defaults(func=cmd_map)
 
     p_sim = sub.add_parser("simulate", help="map + cycle-accurate verify")

@@ -27,7 +27,11 @@ from repro.mapping.engine import (
     available_mappers, default_engine, default_pool, get_mapper,
     map_kernel, register_mapper,
 )
-from repro.mapping.router import route_edge, min_transport_latency
+from repro.mapping.router import (
+    route_edge, route_edge_reference, min_transport_latency,
+    routing_engine, set_routing_engine,
+)
+from repro.mapping.routecore import RouteCore, RoutingHistory, route_core_for
 from repro.mapping.pathfinder import PathFinderMapper
 from repro.mapping.annealing import SimulatedAnnealingMapper
 from repro.mapping.greedy import GreedyRepairMapper
@@ -57,5 +61,11 @@ __all__ = [
     "minimum_ii",
     "register_mapper",
     "resource_mii",
+    "route_core_for",
     "route_edge",
+    "route_edge_reference",
+    "RouteCore",
+    "RoutingHistory",
+    "routing_engine",
+    "set_routing_engine",
 ]

@@ -70,7 +70,7 @@ class SimulatedAnnealingMapper(MapperStrategy):
         cost = mapping_cost(mrrg, routes, len(unrouted))
         temperature = self.start_temp
         for _move in range(self.moves_per_ii):
-            if not unrouted and not mrrg.overuse():
+            if not unrouted and mrrg.is_legal():
                 break
             node_id = rng.choice(node_ids)
             candidate = self._candidate(dfg, arch, mrrg, placement,
@@ -90,7 +90,7 @@ class SimulatedAnnealingMapper(MapperStrategy):
                               incident, node_id, saved)
             temperature *= self.cooling
 
-        if unrouted or mrrg.overuse():
+        if unrouted or not mrrg.is_legal():
             return None
         mapping = Mapping(dfg=dfg, arch=arch, ii=ii,
                           placement=dict(placement), routes=dict(routes))

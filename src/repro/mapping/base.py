@@ -25,6 +25,10 @@ class MappingStats:
     routed_edges: int = 0
     bypass_edges: int = 0
     transport_steps: int = 0
+    #: route_edge calls that returned None during the search (span out of
+    #: range or no path) — previously silent; surfaced by
+    #: ``repro map --verbose`` and mapping-failure messages.
+    routing_failures: int = 0
     seconds: float = 0.0
 
 

@@ -183,6 +183,18 @@ def initial_placement(dfg: DFG, arch: Architecture, mrrg: MRRG,
     return placement
 
 
+def route_one_edge(dfg: DFG, mrrg: MRRG,
+                   placement: dict[int, tuple[int, int]], index: int,
+                   history: dict | None = None) -> Route | None:
+    """Route one data edge (by index) of a placement; None when stuck."""
+    edge = dfg.edges[index]
+    src_fu, src_cycle = placement[edge.src]
+    dst_fu, dst_cycle = placement[edge.dst]
+    arrival = dst_cycle + edge.distance * mrrg.ii
+    return route_edge(mrrg, edge.src, src_fu, src_cycle,
+                      dst_fu, arrival, history=history)
+
+
 def route_all_edges(dfg: DFG, mrrg: MRRG,
                     placement: dict[int, tuple[int, int]],
                     history: dict | None = None
@@ -193,11 +205,8 @@ def route_all_edges(dfg: DFG, mrrg: MRRG,
     for index, edge in enumerate(dfg.edges):
         if edge.is_ordering:
             continue
-        src_fu, src_cycle = placement[edge.src]
-        dst_fu, dst_cycle = placement[edge.dst]
-        arrival = dst_cycle + edge.distance * mrrg.ii
-        route = route_edge(mrrg, edge.src, src_fu, src_cycle,
-                           dst_fu, arrival, history=history)
+        route = route_one_edge(dfg, mrrg, placement, index,
+                               history=history)
         if route is None:
             failures.append(index)
         else:
@@ -208,6 +217,5 @@ def route_all_edges(dfg: DFG, mrrg: MRRG,
 def mapping_cost(mrrg: MRRG, routes: dict[int, Route],
                  unrouted: int) -> float:
     """Scalar objective: overuse dominates, then unrouted, then wirelength."""
-    over = sum(used - cap for _r, _s, used, cap in mrrg.overuse())
     steps = sum(len(route.steps) for route in routes.values())
-    return 1000.0 * unrouted + 100.0 * over + 1.0 * steps
+    return 1000.0 * unrouted + 100.0 * mrrg.total_overuse() + 1.0 * steps

@@ -49,6 +49,7 @@ from repro.arch.base import Architecture
 from repro.arch.mrrg import MRRG
 from repro.errors import MappingError, ReproError
 from repro.ir.graph import DFG
+from repro.mapping import routecore
 from repro.mapping.base import Mapping, MappingStats
 from repro.mapping.mii import minimum_ii
 from repro.utils.rng import make_rng
@@ -136,13 +137,19 @@ class MRRGLease:
 
     def fresh(self) -> MRRG:
         if self.pool is None:
-            return MRRG(self.arch, self.ii)
-        if self._mrrg is None:
-            self._mrrg = self.pool.acquire(self.arch, self.ii)
+            mrrg = MRRG(self.arch, self.ii)
+        elif self._mrrg is None:
+            mrrg = self._mrrg = self.pool.acquire(self.arch, self.ii)
         else:
-            self._mrrg.reset()
+            mrrg = self._mrrg
+            mrrg.reset()
             self.pool.stats.resets += 1
-        return self._mrrg
+        # Compiled routing cores are pooled alongside the MRRGs, keyed by
+        # the same (arch structural signature, II): binding here keeps the
+        # core's flat cost arrays warm across restarts and rounds.  A
+        # no-op under the reference routing engine or when already bound.
+        routecore.ensure_core(mrrg)
+        return mrrg
 
     def release(self) -> None:
         """Hand the recycled instance back to the pool (lease is done).
@@ -208,6 +215,7 @@ class MappingEngine:
     def search(self, dfg: DFG, arch: Architecture,
                strategy: MapperStrategy, **prepare_kwargs) -> Mapping:
         start_time = time.perf_counter()
+        failures_before = routecore.ROUTING.failures
         rng = make_rng(strategy.seed)
         context = strategy.prepare(dfg, arch, rng, **prepare_kwargs)
         mii = minimum_ii(dfg, arch)
@@ -231,14 +239,19 @@ class MappingEngine:
                             transport_steps=sum(
                                 len(route.steps)
                                 for route in mapping.routes.values()),
+                            routing_failures=routecore.ROUTING.failures
+                            - failures_before,
                             seconds=time.perf_counter() - start_time,
                         )
                         return mapping
             finally:
                 lease.release()
+        routing_failures = routecore.ROUTING.failures - failures_before
+        detail = f" ({routing_failures} edge-routing attempts failed)" \
+            if routing_failures else ""
         raise MappingError(
             f"{strategy.failure_label} could not map '{dfg.name}' on "
-            f"{arch.name} within II <= {ii_limit}"
+            f"{arch.name} within II <= {ii_limit}{detail}"
         )
 
 

@@ -1,11 +1,19 @@
 """PathFinder mapper: negotiated congestion routing on the MRRG.
 
 Adapted from McMurchie & Ebeling's FPGA router the way Morpher adapts it
-for CGRAs: placement is produced by list scheduling, then all nets are
-ripped up and rerouted for several rounds.  Overused resource slots
+for CGRAs: placement is produced by list scheduling, then nets are
+negotiated over several rip-up rounds.  Overused resource slots
 accumulate *history* cost, steering later rounds away until the mapping is
 congestion-free.  Placement restarts (with a different RNG stream) give the
 router fresh starting points before the II is given up on.
+
+Negotiation is **incremental** by default: after a round with overused
+slots, only the *dirty nets* — routes touching a slot that went overused —
+are ripped up and rerouted against the updated history; every untouched
+route stays committed.  The pre-incremental behaviour (every net ripped
+up into a fresh MRRG each round) is kept as ``incremental=False``, the
+negotiation oracle: ``tests/test_routecore.py`` locks that both modes
+produce bit-identical mappings across the golden-grid seeds.
 
 The II escalation, restart budgeting, and stats live in the shared
 :class:`~repro.mapping.engine.MappingEngine`; this class is the per-II
@@ -18,8 +26,11 @@ from __future__ import annotations
 from repro.arch.base import Architecture
 from repro.ir.graph import DFG
 from repro.mapping.base import Mapping
-from repro.mapping.common import initial_placement, route_all_edges
+from repro.mapping.common import (
+    initial_placement, route_all_edges, route_one_edge,
+)
 from repro.mapping.engine import MapperStrategy, MRRGLease, register_mapper
+from repro.mapping.router import RoutingHistory
 
 
 class PathFinderMapper(MapperStrategy):
@@ -30,12 +41,13 @@ class PathFinderMapper(MapperStrategy):
 
     def __init__(self, max_rounds: int = 16, restarts: int = 6,
                  history_increment: float = 2.0, max_ii: int | None = None,
-                 seed: int | None = None) -> None:
+                 seed: int | None = None, incremental: bool = True) -> None:
         self.max_rounds = max_rounds
         self.restarts = restarts
         self.history_increment = history_increment
         self.max_ii = max_ii
         self.seed = seed
+        self.incremental = incremental
 
     def attempts_per_ii(self, ii: int, context) -> int:
         return self.restarts
@@ -54,7 +66,63 @@ class PathFinderMapper(MapperStrategy):
                                       circuit_lateness=circuit_lateness)
         if placement is None:
             return None
-        history: dict = {}
+        history = RoutingHistory.for_mrrg(mrrg)
+        if self.incremental:
+            return self._negotiate_incremental(dfg, arch, ii, mrrg,
+                                               placement, history)
+        return self._negotiate_full(dfg, arch, ii, lease, placement,
+                                    history)
+
+    # ------------------------------------------------------------------
+    def _negotiate_incremental(self, dfg: DFG, arch: Architecture, ii: int,
+                               mrrg, placement, history: RoutingHistory
+                               ) -> Mapping | None:
+        """Dirty-net negotiation: untouched routes stay committed.
+
+        One full routing pass, then up to ``max_rounds - 1`` repair
+        passes that rip up and reroute (in edge-index order, against the
+        bumped history) only the routes crossing a slot that went
+        overused — the same round budget the full rip-up oracle spends.
+        """
+        routes, failures = route_all_edges(dfg, mrrg, placement,
+                                           history=history)
+        if failures:
+            return None   # timing-infeasible placement; restart
+        for _round in range(self.max_rounds):
+            violations = mrrg.overuse()
+            if not violations:
+                mapping = Mapping(dfg=dfg, arch=arch, ii=ii,
+                                  placement=dict(placement), routes=routes)
+                mapping.validate()
+                return mapping
+            if _round == self.max_rounds - 1:
+                break     # round budget spent
+            # Negotiate: penalize overused slots, rip up the nets on them.
+            hot = set()
+            for resource, slot, used, cap in violations:
+                history.add(resource, slot,
+                            self.history_increment * (used - cap))
+                hot.add((resource, slot))
+            dirty = [
+                index for index, route in routes.items()
+                if any((step.resource, mrrg.slot(step.cycle)) in hot
+                       for step in route.steps)
+            ]
+            for index in dirty:
+                mrrg.uncommit_route(routes[index])
+            for index in sorted(dirty):
+                route = route_one_edge(dfg, mrrg, placement, index,
+                                       history=history)
+                if route is None:
+                    return None
+                routes[index] = route
+        return None
+
+    # ------------------------------------------------------------------
+    def _negotiate_full(self, dfg: DFG, arch: Architecture, ii: int,
+                        lease: MRRGLease, placement,
+                        history: RoutingHistory) -> Mapping | None:
+        """The pre-incremental oracle: rip up every net each round."""
         for _round in range(self.max_rounds):
             # Rip up: fresh MRRG with only the placement committed.
             mrrg = lease.fresh()
@@ -72,9 +140,8 @@ class PathFinderMapper(MapperStrategy):
                 return mapping
             # Negotiate: penalize overused slots in future rounds.
             for resource, slot, used, cap in violations:
-                key = (resource, slot)
-                history[key] = history.get(key, 0.0) \
-                    + self.history_increment * (used - cap)
+                history.add(resource, slot,
+                            self.history_increment * (used - cap))
         return None
 
 

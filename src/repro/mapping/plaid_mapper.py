@@ -126,7 +126,7 @@ def solve_state(state: "_State", moves: int, start_temp: float,
     best_cost = cost
     stall = 0
     for _move in range(moves):
-        if state.is_complete() and not state.mrrg.overuse():
+        if state.is_complete() and state.mrrg.is_legal():
             break
         group = state.pick_victim()
         if group is None:
@@ -156,7 +156,7 @@ def solve_state(state: "_State", moves: int, start_temp: float,
         temperature *= cooling
     if not state.is_complete():
         return None
-    if state.mrrg.overuse():
+    if not state.mrrg.is_legal():
         return None
     mapping = Mapping(dfg=state.dfg, arch=state.arch, ii=state.ii,
                       placement=dict(state.placement),
@@ -497,8 +497,7 @@ class _State:
         if failed == 0:
             self._negotiate(new_routes)
         cost = sum(len(route.steps) for route in new_routes.values())
-        over = sum(u - c for _r, _s, u, c in self.mrrg.overuse())
-        total = 1000.0 * failed + 100.0 * over + cost
+        total = 1000.0 * failed + 100.0 * self.mrrg.total_overuse() + cost
         if keep and failed == 0:
             self.group_spots[group] = list(spots)
             self.routes.update(new_routes)

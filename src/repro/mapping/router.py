@@ -5,6 +5,17 @@ consumer's execution cycle through places (register sites) and moves
 (wires), charging MRRG resources along the way.  Costs are congestion-aware
 via :meth:`MRRG.step_cost`; segments already charged by the same net are
 free, which makes fanout nets share wires naturally.
+
+:func:`route_edge` is a thin dispatcher: by default it runs the compiled
+integer-state search (:mod:`repro.mapping.routecore`), falling back to
+the interpreted loop here — kept as :func:`route_edge_reference`, the
+conformance oracle — when the reference engine is selected
+(``REPRO_ROUTING_ENGINE=reference`` / :func:`set_routing_engine`) or the
+call carries history the core cannot index.  The two implementations are
+bit-identical by invariant (``tests/test_routecore.py``).  Either way,
+failed calls (span out of range, no path) tick
+:data:`repro.mapping.routecore.ROUTING` so mapping stats and failure
+messages can surface them.
 """
 
 from __future__ import annotations
@@ -14,9 +25,18 @@ import heapq
 from repro.arch.base import Architecture
 from repro.arch.mrrg import MRRG, Route, RouteStep
 from repro.arch.topology import manhattan
+from repro.mapping import routecore
+from repro.mapping.routecore import (
+    MAX_TRANSPORT_CYCLES, ROUTING, RoutingHistory, routing_engine,
+    set_routing_engine,
+)
 
-#: Routing gives up beyond this many cycles of transport.
-MAX_TRANSPORT_CYCLES = 64
+__all__ = [
+    "MAX_TRANSPORT_CYCLES", "ROUTING", "RoutingHistory",
+    "min_transport_latency", "route_cost", "route_edge",
+    "route_edge_reference", "router_adjacency", "routing_engine",
+    "set_routing_engine", "transport_latency_table",
+]
 
 
 def transport_latency_table(arch: Architecture) -> tuple[tuple[int, ...], ...]:
@@ -78,6 +98,11 @@ def router_adjacency(arch: Architecture
     return adjacency
 
 
+#: Sentinel distinguishing "compiled path not taken" from a routing
+#: failure (which is a legitimate None result).
+_UNROUTED = object()
+
+
 def route_edge(mrrg: MRRG, net: int, src_fu: int, depart_cycle: int,
                dst_fu: int, arrive_cycle: int,
                history: dict | None = None,
@@ -88,6 +113,47 @@ def route_edge(mrrg: MRRG, net: int, src_fu: int, depart_cycle: int,
     ``arrive_cycle`` is in absolute time: inter-iteration edges pass
     ``consumer_cycle + distance * II``.  With ``commit`` the route's
     charges are applied to the MRRG immediately.
+
+    Dispatches to the compiled core when the active routing engine is
+    ``compiled`` and ``history`` is indexable by it (``None`` or a
+    :class:`~repro.mapping.routecore.RoutingHistory` bound to this
+    MRRG's core); plain-dict history always takes the reference path.
+    """
+    ROUTING.calls += 1
+    route = _UNROUTED
+    if routecore.ACTIVE_ENGINE == "compiled":
+        core = mrrg._core
+        if core is None:
+            core = routecore.ensure_core(mrrg)
+        if core is not None:
+            if history is None:
+                hist = core.zero_hist
+            elif isinstance(history, RoutingHistory) \
+                    and history.core is core:
+                hist = history.array
+            else:
+                hist = None
+            if hist is not None:
+                route = routecore.route_edge_compiled(
+                    mrrg, core, net, src_fu, depart_cycle,
+                    dst_fu, arrive_cycle, hist, commit)
+    if route is _UNROUTED:
+        route = route_edge_reference(mrrg, net, src_fu, depart_cycle,
+                                     dst_fu, arrive_cycle, history, commit)
+    if route is None:
+        ROUTING.failures += 1
+    return route
+
+
+def route_edge_reference(mrrg: MRRG, net: int, src_fu: int,
+                         depart_cycle: int, dst_fu: int, arrive_cycle: int,
+                         history: dict | None = None,
+                         commit: bool = True) -> Route | None:
+    """The interpreted Dijkstra — the compiled core's conformance oracle.
+
+    Bit-identical to :func:`routecore.route_edge_compiled` by invariant;
+    benchmarks and conformance tests call it (or select it process-wide
+    via :func:`set_routing_engine`) to check and price the compiled path.
     """
     arch = mrrg.arch
     span = arrive_cycle - depart_cycle

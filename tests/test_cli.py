@@ -40,6 +40,21 @@ def test_map_workload_on_plaid(capsys):
     assert "II=" in out and "plaid" in out
 
 
+def test_map_verbose_prints_search_stats(capsys):
+    from repro.mapping.router import set_routing_engine
+
+    previous = set_routing_engine("compiled")
+    try:
+        assert main(["map", "--workload", "dwconv", "--arch", "st",
+                     "--mapper", "pathfinder", "--verbose"]) == 0
+    finally:
+        set_routing_engine(previous)
+    out = capsys.readouterr().out
+    assert "placement attempts" in out
+    assert "routing failures" in out
+    assert "routing engine: compiled" in out
+
+
 def test_map_workload_spatial(capsys):
     assert main(["map", "--workload", "dwconv", "--arch", "spatial"]) == 0
     assert "phases" in capsys.readouterr().out

@@ -5,7 +5,10 @@ from hypothesis import given, settings, strategies as st
 
 from repro.arch import MRRG, make_plaid, make_spatio_temporal
 from repro.errors import MappingError
-from repro.mapping.router import min_transport_latency, route_edge
+from repro.mapping import routecore
+from repro.mapping.router import (
+    min_transport_latency, route_edge, route_edge_reference,
+)
 
 
 # ---------------------------------------------------------------------------
@@ -193,3 +196,183 @@ def test_route_arrival_exact_property(src, dst, slack):
             # occupancy chain is contiguous in time
             cycles = [c for _p, c in route.places]
             assert cycles == list(range(cycles[0], cycles[-1] + 1))
+
+
+# ---------------------------------------------------------------------------
+# Router edge cases (compiled fast paths + reference agreement)
+# ---------------------------------------------------------------------------
+def _both_engines(run):
+    """Run a scenario under each routing engine; return both results."""
+    results = []
+    for engine in ("compiled", "reference"):
+        previous = routecore.set_routing_engine(engine)
+        try:
+            results.append(run())
+        finally:
+            routecore.set_routing_engine(previous)
+    return results
+
+
+def test_bypass_fast_path_both_engines():
+    """The Plaid bypass pair takes the zero-step fast path identically:
+    free (no steps, nothing charged) and only at exactly span 1."""
+    def run():
+        arch = make_plaid()
+        mrrg = MRRG(arch, 4)
+        route = route_edge(mrrg, 0, 0, 0, 1, 1)
+        assert route is not None and route.bypass and not route.steps
+        assert mrrg.occupancy_snapshot() == {}   # a bypass charges nothing
+        late = route_edge(mrrg, 0, 0, 2, 1, 4)   # span 3: not a bypass
+        assert late is not None and not late.bypass
+        return route, late
+    compiled, reference = _both_engines(run)
+    assert compiled == reference
+
+
+def test_fanout_wire_sharing_charged_once():
+    """Two sinks of one net share segments: the shared wire slot counts
+    one net, and uncommitting one sink keeps the shared charge alive."""
+    def run():
+        arch = make_spatio_temporal()
+        mrrg = MRRG(arch, 4)
+        first = route_edge(mrrg, net=7, src_fu=0, depart_cycle=0,
+                           dst_fu=2, arrive_cycle=2)
+        second = route_edge(mrrg, net=7, src_fu=0, depart_cycle=0,
+                            dst_fu=2, arrive_cycle=3)
+        assert first is not None and second is not None
+        shared = [step for step in first.steps if step in second.steps]
+        assert shared, "fanout sinks should share their common prefix"
+        for step in shared:
+            assert mrrg.usage_count(step.resource,
+                                    mrrg.slot(step.cycle)) == 1
+        mrrg.uncommit_route(second)
+        for step in shared:
+            assert mrrg.usage_count(step.resource,
+                                    mrrg.slot(step.cycle)) == 1
+        mrrg.uncommit_route(first)
+        assert mrrg.occupancy_snapshot() == {}
+        return first, second
+    compiled, reference = _both_engines(run)
+    assert compiled == reference
+
+
+def test_unroutable_and_inverted_spans_fail_in_both_engines():
+    def run():
+        arch = make_spatio_temporal()
+        mrrg = MRRG(arch, 4)
+        outcomes = (
+            route_edge(mrrg, 0, 0, 5, 15, 5),    # arrive == depart
+            route_edge(mrrg, 0, 0, 5, 15, 3),    # arrive < depart
+            route_edge(mrrg, 0, 0, 0, 15, 2),    # 6 hops in 2 cycles
+            route_edge(mrrg, 0, 0, 0, 15, 999),  # beyond MAX_TRANSPORT
+        )
+        assert outcomes == (None, None, None, None)
+        assert mrrg.occupancy_snapshot() == {}   # failures charge nothing
+        return outcomes
+    _both_engines(run)
+
+
+def test_goal_read_charge_tie_breaking():
+    """Goals are compared on cost *including* the consume-side read
+    charge: congesting the cheaper read wire flips the chosen goal place
+    — identically in both engines."""
+    arch = make_spatio_temporal()
+
+    def run(congest):
+        mrrg = MRRG(arch, 4)
+        if congest:
+            # FU 6 reads FU 5's register file across link[5->6]; make
+            # that read expensive so landing in FU 6's own RF wins.
+            for net in (90, 91, 92):
+                mrrg._charge(net, ("res", "link[5->6]"), 2)
+        return route_edge(mrrg, 1, 5, 0, 6, 2, commit=False)
+
+    free_c, free_r = _both_engines(lambda: run(False))
+    congested_c, congested_r = _both_engines(lambda: run(True))
+    assert free_c == free_r
+    assert congested_c == congested_r
+    # Uncongested: hold in 5's RF, read across at arrival (span 2 allows
+    # it).  Congested read wire: the route moves into 6's RF instead.
+    assert any(step.kind == "read" for step in free_c.steps)
+    assert not any(step.kind == "read" for step in congested_c.steps)
+    assert congested_c.places[-1][0] == 6
+
+
+# ---------------------------------------------------------------------------
+# Route hygiene properties (satellite: guard the incremental arrays)
+# ---------------------------------------------------------------------------
+def _state_snapshot(mrrg):
+    """Every piece of congestion state, deep-copied for comparison."""
+    return (
+        {key: {net: dict(cycles) for net, cycles in nets.items()}
+         for key, nets in mrrg._usage.items()},
+        dict(mrrg._counts),
+        dict(mrrg._overused),
+        mrrg._over_sum,
+        None if mrrg._cost_base is None else list(mrrg._cost_base),
+        {net: {index: dict(cycles) for index, cycles in per_net.items()}
+         for net, per_net in mrrg._net_charges.items()},
+    )
+
+
+@settings(deadline=None, max_examples=40)
+@given(src=st.integers(0, 15), dst=st.integers(0, 15),
+       slack=st.integers(0, 4), ii=st.sampled_from([2, 5]),
+       preload=st.booleans(),
+       engine=st.sampled_from(["compiled", "reference"]))
+def test_uncommitted_route_leaves_state_untouched(src, dst, slack, ii,
+                                                  preload, engine):
+    """route_edge(commit=False) must not move occupancy_snapshot() nor
+    any of the incremental cost arrays, under either engine."""
+    previous = routecore.set_routing_engine(engine)
+    try:
+        arch = make_spatio_temporal()
+        mrrg = MRRG(arch, ii)
+        routecore.ensure_core(mrrg)   # binds under compiled; no-op else
+        if preload:  # some ambient congestion, including this net's own
+            route_edge(mrrg, 1, (src + 1) % 16, 0, dst, 2 + slack)
+            route_edge(mrrg, 2, src, 0, (dst + 3) % 16, 3)
+        snapshot = mrrg.occupancy_snapshot()
+        state = _state_snapshot(mrrg)
+        arrive = min_transport_latency(arch, src, dst) + slack
+        route_edge(mrrg, 1, src, 0, dst, arrive, commit=False)
+        assert mrrg.occupancy_snapshot() == snapshot
+        assert _state_snapshot(mrrg) == state
+    finally:
+        routecore.set_routing_engine(previous)
+
+
+@settings(deadline=None, max_examples=40)
+@given(src=st.integers(0, 15), dst=st.integers(0, 15),
+       slack=st.integers(0, 4), ii=st.sampled_from([2, 5]),
+       preload=st.booleans(),
+       engine=st.sampled_from(["compiled", "reference"]))
+def test_commit_uncommit_roundtrips_exactly(src, dst, slack, ii, preload,
+                                            engine):
+    """commit_route followed by uncommit_route restores every dict and
+    flat array bit-for-bit — the invariant the dirty-net rip-up and the
+    MRRG pool both lean on."""
+    previous = routecore.set_routing_engine(engine)
+    try:
+        arch = make_spatio_temporal()
+        mrrg = MRRG(arch, ii)
+        routecore.ensure_core(mrrg)
+        if preload:
+            route_edge(mrrg, 1, (src + 1) % 16, 0, dst, 2 + slack)
+            route_edge(mrrg, 2, src, 0, (dst + 3) % 16, 3)
+        state = _state_snapshot(mrrg)
+        arrive = min_transport_latency(arch, src, dst) + slack
+        route = route_edge(mrrg, 1, src, 0, dst, arrive, commit=False)
+        if route is None:
+            return
+        mrrg.commit_route(route)
+        committed = _state_snapshot(mrrg)
+        mrrg.uncommit_route(route)
+        assert _state_snapshot(mrrg) == state
+        # And recommitting reproduces the committed state exactly.
+        mrrg.commit_route(route)
+        assert _state_snapshot(mrrg) == committed
+        mrrg.uncommit_route(route)
+        assert _state_snapshot(mrrg) == state
+    finally:
+        routecore.set_routing_engine(previous)
