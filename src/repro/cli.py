@@ -131,13 +131,12 @@ def cmd_simulate(args) -> int:
     if arch.style == "spatial":
         mapping = get_mapper("spatial").make(seed=args.seed).map(dfg, arch)
         report = SpatialSimulator(mapping, trace=trace).simulate(
-            memory, iterations=args.iterations)
+            memory, iterations=args.iterations, engine=args.engine)
     else:
         mapping = _make_mapper(args, arch).map(dfg, arch)
         simulator = CGRASimulator(mapping, trace=trace)
-        run = simulator.run_reference if args.engine == "reference" \
-            else simulator.run
-        report = run(memory, iterations=args.iterations)
+        report = simulator.run(memory, iterations=args.iterations,
+                               engine=args.engine)
     print(f"{dfg.name} on {arch.name}: {report.summary()}")
     if trace is not None and trace.events:
         print(trace.render())
@@ -382,13 +381,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="temporal mapper key (see 'repro mappers')")
     p_sim.add_argument("--iterations", type=int, default=8)
     p_sim.add_argument("--fill", type=int, default=3)
-    p_sim.add_argument("--engine", choices=["compiled", "reference"],
-                       default="compiled",
-                       help="simulation engine: the compiled schedule "
-                            "(default) or the interpreted reference loop "
-                            "(bit-identical; conformance/benchmarking)")
+    p_sim.add_argument("--engine",
+                       choices=["compiled", "numpy", "reference"],
+                       default=None,
+                       help="simulation engine: the compiled schedule, its "
+                            "vectorized numpy replay, or the interpreted "
+                            "reference loop (all bit-identical; default "
+                            "$REPRO_SIM_ENGINE, else compiled)")
     p_sim.add_argument("--trace", type=int, metavar="N", default=0,
-                       help="print the first N execution trace events")
+                       help="print the first N execution trace events "
+                            "(per-event tracing is scalar: the numpy "
+                            "engine falls back to the compiled engine; "
+                            "batch APIs trace per window when given one "
+                            "recorder per window)")
     p_sim.set_defaults(func=cmd_simulate)
 
     p_report = sub.add_parser("report", help="print one experiment")

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -548,6 +549,11 @@ def gc_store(store: "Path | str | ResultStore", *,
     removes entries whose recorded schema differs from it; with
     ``older_than`` (seconds), removes entries whose mtime is older.
     Healthy, in-schema, young entries are always kept.
+
+    Entries with a *future* mtime (clock skew: rsync'd from a host whose
+    clock ran ahead) would otherwise read as infinitely fresh and never
+    expire; gc rewrites their mtime to ``now``, so they age normally
+    from the first pass that observes them.
     """
     store = _open_existing_store(store)
     now = time.time() if now is None else now
@@ -568,10 +574,14 @@ def gc_store(store: "Path | str | ResultStore", *,
             path.unlink(missing_ok=True)
             report.removed_schema += 1
             continue
-        if older_than is not None \
-                and path.stat().st_mtime < now - older_than:
-            path.unlink(missing_ok=True)
-            report.removed_old += 1
-            continue
+        if older_than is not None:
+            mtime = path.stat().st_mtime
+            if mtime > now:
+                os.utime(path, (now, now))
+                mtime = now
+            if mtime < now - older_than:
+                path.unlink(missing_ok=True)
+                report.removed_old += 1
+                continue
         report.kept += 1
     return report

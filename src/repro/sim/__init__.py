@@ -10,15 +10,20 @@ purpose of the simulation is to verify the mapping and hardware design."
 Execution runs through the compiled engine (:mod:`repro.sim.engine`):
 mappings are compiled once into per-phase firing/transport tables and
 replayed with flat-list inner loops, bit-identical to the interpreted
-reference loop kept on :meth:`CGRASimulator.run_reference`.
+reference loop kept on :meth:`CGRASimulator.run_reference`.  The same
+tables also drive the vectorized numpy backend
+(:mod:`repro.sim.vector`), selected per call (``engine="numpy"``) or
+process-wide (``REPRO_SIM_ENGINE`` / :func:`set_simulation_engine`).
 """
 
 from repro.sim.spm import Scratchpad
 from repro.sim.engine import (
-    CompiledSchedule, SimulationReport, compile_mapping,
+    CompiledSchedule, SIM_ENGINES, SimulationReport, compile_mapping,
+    resolve_engine, set_simulation_engine, simulation_engine,
 )
 from repro.sim.machine import CGRASimulator
 from repro.sim.spatial_sim import SpatialSimulator
+from repro.sim.vector import VectorSchedule
 from repro.sim.config import ConfigBundle, encode_mapping
 from repro.sim.trace import TraceEvent, TraceRecorder
 
@@ -26,11 +31,16 @@ __all__ = [
     "CGRASimulator",
     "CompiledSchedule",
     "ConfigBundle",
+    "SIM_ENGINES",
     "Scratchpad",
     "SimulationReport",
     "SpatialSimulator",
     "TraceEvent",
     "TraceRecorder",
+    "VectorSchedule",
     "compile_mapping",
     "encode_mapping",
+    "resolve_engine",
+    "set_simulation_engine",
+    "simulation_engine",
 ]

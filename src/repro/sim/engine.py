@@ -35,6 +35,7 @@ the same malformed mappings — locked by ``tests/test_sim_engine.py``.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from repro.errors import SimulationError
@@ -44,9 +45,51 @@ from repro.sim.spm import Scratchpad
 from repro.sim.trace import TraceRecorder
 
 __all__ = [
-    "CompiledSchedule", "SimulationReport", "compare_images",
-    "compile_mapping", "finish_verify",
+    "CompiledSchedule", "SIM_ENGINES", "SimulationReport", "compare_images",
+    "compile_mapping", "finish_verify", "resolve_engine",
+    "set_simulation_engine", "simulation_engine",
 ]
+
+
+# ---------------------------------------------------------------------------
+# Engine selection (mirrors the REPRO_ROUTING_ENGINE knob of the router)
+# ---------------------------------------------------------------------------
+#: Temporal execution engines: ``compiled`` (PR 3 table replay), ``numpy``
+#: (PR 6 vectorized replay of the same tables), ``reference`` (the
+#: interpreted oracle).
+SIM_ENGINES = ("compiled", "numpy", "reference")
+
+_env_engine = os.environ.get("REPRO_SIM_ENGINE", "compiled").strip()
+#: The engine in effect when callers pass ``engine=None``; read on every
+#: dispatch so tests/benchmarks can flip it mid-process.
+ACTIVE_SIM_ENGINE = _env_engine if _env_engine in SIM_ENGINES else "compiled"
+
+
+def simulation_engine() -> str:
+    """The temporal engine in effect (``compiled``/``numpy``/``reference``)."""
+    return ACTIVE_SIM_ENGINE
+
+
+def set_simulation_engine(name: str) -> str:
+    """Select the temporal engine; returns the previous setting."""
+    global ACTIVE_SIM_ENGINE
+    if name not in SIM_ENGINES:
+        raise ValueError(
+            f"unknown simulation engine '{name}' (one of {SIM_ENGINES})")
+    previous = ACTIVE_SIM_ENGINE
+    ACTIVE_SIM_ENGINE = name
+    return previous
+
+
+def resolve_engine(engine: str | None) -> str:
+    """Resolve an explicit engine choice, falling back to the process-wide
+    setting (``REPRO_SIM_ENGINE`` / :func:`set_simulation_engine`)."""
+    if engine is None:
+        return ACTIVE_SIM_ENGINE
+    if engine not in SIM_ENGINES:
+        raise ValueError(
+            f"unknown simulation engine '{engine}' (one of {SIM_ENGINES})")
+    return engine
 
 
 # ---------------------------------------------------------------------------
@@ -68,6 +111,7 @@ class SimulationReport:
     spm_reads: int = 0
     spm_writes: int = 0
     transport_occupancies: int = 0
+    bank_conflicts: int = 0
     verified: bool | None = None
     mismatches: list[str] = field(default_factory=list)
 
@@ -425,22 +469,42 @@ class CompiledSchedule:
             span(steady_lo, steady_hi + 1, False)        # steady state
             span(steady_hi + 1, end_cycle + 1, True)     # epilogue
 
+        report.bank_conflicts = spm.bank_conflicts
         final = spm.dump_image()
         return finish_verify(report, dfg, reference, final, total, verify)
 
     def execute_batch(self, memories, iterations: int | None = None,
-                      verify: bool = True,
-                      trace: TraceRecorder | None = None
+                      verify: bool = True, trace=None
                       ) -> list[SimulationReport]:
         """Run one compiled schedule over many memory windows (compile
         paid once; long-iteration workloads batch their windows here).
 
-        A shared ``trace`` accumulates across windows — cycle numbers
-        restart per window, and a ``limit`` counts events over the whole
-        batch; :meth:`TraceRecorder.clear` between windows if per-window
-        traces are wanted."""
+        ``trace`` is either one shared :class:`TraceRecorder` or a
+        sequence of per-window recorders (``None`` entries skip a
+        window).  A shared recorder accumulates across windows — cycle
+        numbers restart per window, and a ``limit`` counts events over
+        the *whole batch*, so a limited shared recorder fills on the
+        first window; pass per-window recorders (what ``repro simulate
+        --trace`` documents) to trace every window independently."""
+        memories = list(memories)
+        traces = self._window_traces(trace, memories)
         return [self.execute(memory, iterations=iterations, verify=verify,
-                             trace=trace) for memory in memories]
+                             trace=window_trace)
+                for memory, window_trace in zip(memories, traces)]
+
+    @staticmethod
+    def _window_traces(trace, memories) -> list[TraceRecorder | None]:
+        """Normalize a batch ``trace`` argument to one recorder (or
+        ``None``) per window."""
+        if trace is None or isinstance(trace, TraceRecorder):
+            return [trace] * len(memories)
+        traces = list(trace)
+        if len(traces) != len(memories):
+            raise SimulationError(
+                f"per-window trace list has {len(traces)} recorders for "
+                f"{len(memories)} memory windows"
+            )
+        return traces
 
     # ------------------------------------------------------------------
     def _fire(self, cn: CompiledNode, k: int, cycle: int, cur, out_buf,

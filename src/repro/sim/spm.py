@@ -14,7 +14,20 @@ from repro.ir.ops import to_unsigned
 
 
 class Scratchpad:
-    """Banked scratchpad with per-cycle port accounting."""
+    """Banked scratchpad with per-cycle port accounting.
+
+    Words interleave across banks (word ``w`` lives in bank
+    ``w % banks``).  Two accounting layers run per cycle:
+
+    * the **aggregate port check** — more than ``banks`` accesses in one
+      cycle is a hard error (the historical model, and the only check
+      that raises, so metrics are unchanged);
+    * **per-bank charges** — a second access to an already-charged bank
+      in the same cycle is a *bank conflict*, counted in
+      :attr:`bank_conflicts` (surfaced on ``SimulationReport``) so
+      banked-interleaving pressure is visible even where the aggregate
+      check stays quiet.
+    """
 
     def __init__(self, banks: int = 4, bytes_per_bank: int = 4096) -> None:
         self.banks = banks
@@ -24,6 +37,8 @@ class Scratchpad:
         self._sizes: dict[str, int] = {}
         self._next_free = 0
         self._accesses_this_cycle = 0
+        self._banks_this_cycle: set[int] = set()
+        self.bank_conflicts = 0
 
     # ------------------------------------------------------------------
     # Allocation / host interface
@@ -69,6 +84,7 @@ class Scratchpad:
     # ------------------------------------------------------------------
     def begin_cycle(self) -> None:
         self._accesses_this_cycle = 0
+        self._banks_this_cycle.clear()
 
     def _check_port(self) -> None:
         self._accesses_this_cycle += 1
@@ -76,6 +92,16 @@ class Scratchpad:
             raise SimulationError(
                 f"more than {self.banks} SPM accesses in one cycle"
             )
+
+    def _charge_bank(self, offset: int) -> None:
+        """Per-bank charge: a repeat hit on an already-charged bank this
+        cycle is a conflict.  Diagnostic only — the raise stays with the
+        aggregate check so golden metrics are value-preserved."""
+        bank = offset % self.banks
+        if bank in self._banks_this_cycle:
+            self.bank_conflicts += 1
+        else:
+            self._banks_this_cycle.add(bank)
 
     def _offset(self, array: str, index: int) -> int:
         base = self._base.get(array)
@@ -94,11 +120,15 @@ class Scratchpad:
 
     def read(self, array: str, index: int) -> int:
         self._check_port()
-        return self._data[self._offset(array, index)]
+        offset = self._offset(array, index)
+        self._charge_bank(offset)
+        return self._data[offset]
 
     def write(self, array: str, index: int, value: int) -> None:
         self._check_port()
-        self._data[self._offset(array, index)] = to_unsigned(value)
+        offset = self._offset(array, index)
+        self._charge_bank(offset)
+        self._data[offset] = to_unsigned(value)
 
     def bank_of(self, array: str, index: int) -> int:
         """Interleaved bank number of one word (diagnostics)."""

@@ -593,6 +593,28 @@ def test_gc_older_than_removes_expired_entries(tmp_path):
     assert fps[0] not in ResultStore(tmp_path / "store")
 
 
+def test_gc_tolerates_future_mtimes_from_clock_skew(tmp_path):
+    """An entry rsync'd from a host whose clock ran ahead carries a
+    future mtime; gc must keep it (not treat it as infinitely fresh
+    forever), rewrite its mtime to now, and expire it normally once it
+    ages past the threshold from that first observation."""
+    store = _seed_store(tmp_path / "store")
+    fps = sorted(store.fingerprints())
+    skewed = store.entry_path(fps[0])
+    now = skewed.stat().st_mtime
+    os.utime(skewed, (now + 50_000, now + 50_000))
+
+    report = gc_store(store.root, older_than=3600, now=now)
+    assert report.removed_old == 0
+    assert report.kept == len(fps)
+    assert fps[0] in ResultStore(tmp_path / "store")
+    # Normalized: the entry ages from this pass, not from the future.
+    assert abs(skewed.stat().st_mtime - now) < 1.0
+    later = gc_store(store.root, older_than=3600, now=now + 7200)
+    assert later.removed_old == len(fps)
+    assert fps[0] not in ResultStore(tmp_path / "store")
+
+
 def test_parse_duration():
     assert parse_duration("90") == 90.0
     assert parse_duration("90s") == 90.0
