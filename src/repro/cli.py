@@ -90,7 +90,7 @@ def cmd_compile(args) -> int:
 
 
 def cmd_map(args) -> int:
-    from repro.mapping.engine import get_mapper
+    from repro.mapping.engine import get_mapper, map_kernel
 
     dfg = _load_dfg(args)
     arch = _build_arch(args.arch)
@@ -102,7 +102,13 @@ def cmd_map(args) -> int:
             print("search: spatial mappings are phase-partitioned; "
                   "temporal search statistics do not apply")
         return 0
-    mapping = _make_mapper(args, arch).map(dfg, arch)
+    name = args.mapper or ("plaid" if arch.style == "plaid" else "pathfinder")
+    if get_mapper(name).kind == "composite":
+        # Composites ('best', 'race') pick per-candidate seeds through
+        # the callback; the CLI applies --seed to every candidate.
+        mapping = map_kernel(name, dfg, arch, lambda _key: args.seed)
+    else:
+        mapping = _make_mapper(args, arch).map(dfg, arch)
     print(mapping.summary())
     print(f"mapper: {mapping.stats.mapper}, "
           f"bypass edges: {mapping.stats.bypass_edges}, "
@@ -116,6 +122,11 @@ def cmd_map(args) -> int:
               f"({stats.transport_steps} transport steps), "
               f"{stats.routing_failures} routing failures, "
               f"routing engine: {routing_engine()}")
+        for cand in stats.candidates:
+            metrics = (f"II={cand.ii}, cycles={cand.total_cycles}"
+                       if cand.ii is not None else "no mapping")
+            print(f"candidate {cand.key}: {cand.outcome} ({metrics}, "
+                  f"{cand.attempts} attempts, {cand.seconds:.2f}s)")
     return 0
 
 
@@ -335,6 +346,8 @@ def cmd_mappers(_args) -> int:
         detail = info.description
         if info.kind == "composite":
             detail += f" [candidates: {', '.join(info.candidates)}]"
+        if info.racing:
+            detail += " [racing]"
         rows.append([info.key, info.kind, detail])
     print(format_table(["mapper", "kind", "description"], rows))
     return 0

@@ -349,6 +349,18 @@ class ResultStore:
         for path in self._entries():
             yield path.stem
 
+    def iter_results(self) -> "Iterator[KernelResult]":
+        """Every decodable :class:`KernelResult` currently stored.
+
+        Pure read (no stats, no healing deletions); cached failures and
+        damaged entries are skipped.  This is the history feed for the
+        portfolio racer's :class:`~repro.mapping.race.BudgetAdvisor`.
+        """
+        for path in self._entries():
+            status, payload = self._read_entry(path)
+            if status == "ok" and not isinstance(payload, CachedFailure):
+                yield payload
+
     # -- write ----------------------------------------------------------
     def put(self, fp: str, result: "KernelResult") -> None:
         """Persist ``result`` under ``fp`` (atomic, last-writer-wins).

@@ -370,3 +370,5 @@ def clear_caches() -> None:
     _STORE_RESOLVED = False
     EVAL_STATS.reset()
     build_arch.cache_clear()
+    from repro.mapping import race
+    race.clear_advisor()    # budget history is derived from the store

@@ -21,11 +21,15 @@ of truth for mapper keys across the harness, CLI, and benchmarks.
 """
 
 from repro.mapping.mii import minimum_ii, resource_mii
-from repro.mapping.base import Mapping, MappingStats
+from repro.mapping.base import CandidateStats, Mapping, MappingStats
 from repro.mapping.engine import (
     MapperInfo, MapperStrategy, MappingEngine, MRRGLease, MRRGPool,
-    available_mappers, default_engine, default_pool, get_mapper,
-    map_kernel, register_mapper,
+    SearchProgress, available_mappers, default_engine, default_pool,
+    get_mapper, map_kernel, register_mapper,
+)
+from repro.mapping.race import (
+    BudgetAdvisor, RacePlan, configure_racing, cycles_lower_bound,
+    makespan_lower_bound, racing_workers, select_winner, shutdown_racing,
 )
 from repro.mapping.router import (
     route_edge, route_edge_reference, min_transport_latency,
@@ -39,6 +43,8 @@ from repro.mapping.plaid_mapper import PlaidMapper
 from repro.mapping.spatial_mapper import SpatialMapper, SpatialMapping
 
 __all__ = [
+    "BudgetAdvisor",
+    "CandidateStats",
     "GreedyRepairMapper",
     "MapperInfo",
     "MapperStrategy",
@@ -49,16 +55,22 @@ __all__ = [
     "MRRGPool",
     "PathFinderMapper",
     "PlaidMapper",
+    "RacePlan",
+    "SearchProgress",
     "SimulatedAnnealingMapper",
     "SpatialMapper",
     "SpatialMapping",
     "available_mappers",
+    "configure_racing",
+    "cycles_lower_bound",
     "default_engine",
     "default_pool",
     "get_mapper",
+    "makespan_lower_bound",
     "map_kernel",
     "min_transport_latency",
     "minimum_ii",
+    "racing_workers",
     "register_mapper",
     "resource_mii",
     "route_core_for",
@@ -67,5 +79,7 @@ __all__ = [
     "RouteCore",
     "RoutingHistory",
     "routing_engine",
+    "select_winner",
     "set_routing_engine",
+    "shutdown_racing",
 ]

@@ -17,6 +17,28 @@ from repro.ir.graph import DFG
 
 
 @dataclass
+class CandidateStats:
+    """One composite candidate's outcome (``best``/``race`` record one of
+    these per candidate on the winning mapping's stats).
+
+    ``outcome`` is ``"won"`` (selected), ``"lost"`` (completed but not
+    selected), ``"cutoff"`` (abandoned at the racing incumbent cutoff —
+    provably unable to beat the winner), or ``"failed"`` (exhausted its
+    II budget without a mapping).  ``ii``/``total_cycles`` are ``None``
+    unless the candidate completed.  ``attempts``/``seconds`` cover the
+    work actually spent, so a cutoff candidate's numbers are smaller
+    than its standalone search would report.
+    """
+
+    key: str
+    outcome: str
+    ii: int | None = None
+    total_cycles: int | None = None
+    attempts: int = 0
+    seconds: float = 0.0
+
+
+@dataclass
 class MappingStats:
     """Bookkeeping the evaluation harness and power model consume."""
 
@@ -30,6 +52,11 @@ class MappingStats:
     #: ``repro map --verbose`` and mapping-failure messages.
     routing_failures: int = 0
     seconds: float = 0.0
+    #: Per-candidate outcomes when this mapping came out of a composite
+    #: (``best``/``race``); empty for a standalone mapper run.  The
+    #: winner's own search fields above are untouched — they stay
+    #: bit-identical to its standalone evaluation.
+    candidates: "list[CandidateStats]" = field(default_factory=list)
 
 
 @dataclass

@@ -1,0 +1,625 @@
+"""Portfolio mapper racing: composite schedules with an incumbent cutoff.
+
+``best`` (the paper's baseline methodology) runs its candidate mappers
+back-to-back and keeps the min-cycles result, which makes every sweep
+cell pay the *sum* of the candidates' mapping times.  This module races
+the same portfolio instead:
+
+* **Concurrent candidates** — with 2+ CPUs available each candidate maps
+  in its own process (a persistent fork-based pool, amortized across
+  races), so wall-clock drops to roughly the slowest candidate.
+* **Shared incumbent cutoff** — the first candidate to finish publishes
+  its (total cycles, candidate order) through a shared-memory channel;
+  trailing candidates consult it between restarts and abandon their
+  search as soon as *every* mapping they could still find is provably no
+  better (see :func:`cycles_lower_bound`).  A candidate whose lower
+  bound already loses at its minimum II never runs a single restart.
+* **Adaptive budgets** — :class:`BudgetAdvisor` reads the persistent
+  result store's history and, per (workload domain, fabric structural
+  signature), schedules the historically winning candidate first with a
+  larger cooperative time slice, so repeat sweeps establish the
+  incumbent early and spend restarts where they historically paid off.
+
+**Determinism is the contract**: only the *schedule* races — seeds,
+restart budgets, and per-II attempt order are untouched, so a candidate
+that completes produces exactly its standalone mapping, and the declared
+winner is bit-identical to ``best``'s (placement, routes, II, stats).
+Cutoffs only ever skip work that provably cannot beat the incumbent:
+``total_cycles = (iterations - 1) * II + makespan`` and
+``makespan >= makespan_lower_bound(dfg)`` (every distance-0 dependence
+costs at least one cycle), so once a candidate's II escalates past the
+point where that bound meets the incumbent — with the registry-order
+tie-break applied, see :func:`select_winner` — its remaining restarts
+cannot matter.
+
+**Degradation** (never oversubscribe): inside a ``repro sweep --jobs N``
+worker each cell's racer sees ``sweep_jobs=N`` and takes only its fair
+share of the CPUs (``cpu_count // N``); below 2 workers — including
+every single-CPU host and any platform without ``fork`` — the race runs
+*cooperatively interleaved* in-process: candidate searches advance
+round-robin through :meth:`MappingEngine.search_iter`, sharing the
+incumbent without any process machinery.  ``REPRO_RACE_JOBS`` (or
+:func:`configure_racing`) overrides the worker count; ``1`` forces the
+interleaved mode.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+
+from repro.arch.base import Architecture
+from repro.errors import MappingCutoff, MappingError
+from repro.ir.graph import DFG
+from repro.mapping.base import CandidateStats, Mapping
+from repro.mapping.engine import MapperInfo, default_engine, get_mapper
+
+__all__ = [
+    "BudgetAdvisor", "RacePlan", "RACE_JOBS_ENV", "configure_racing",
+    "cycles_lower_bound", "makespan_lower_bound", "racing_workers",
+    "run_composite", "select_winner", "shutdown_racing",
+]
+
+#: Environment override for the race pool size (see
+#: :func:`racing_workers`); ``1`` forces the interleaved fallback.
+RACE_JOBS_ENV = "REPRO_RACE_JOBS"
+
+#: "No incumbent yet" sentinel — larger than any real cycle count.
+_NO_INCUMBENT = 2 ** 62
+
+#: Cooperative restarts per turn for the advisor's top pick (the others
+#: get 1): a historically winning candidate runs essentially to
+#: completion first, so the incumbent lands before the field spends
+#: restarts it will only throw away.
+_PRIORITY_SLICE = 64
+
+
+# ---------------------------------------------------------------------------
+# Provable bounds + winner selection (the soundness core)
+# ---------------------------------------------------------------------------
+def makespan_lower_bound(dfg: DFG) -> int:
+    """A floor on the makespan of *any* legal mapping of ``dfg``.
+
+    Every distance-0 edge (data or ordering) forces its consumer at
+    least one cycle after its producer: routed values span >= 1 cycle
+    (``repro.mapping.router`` rejects span < 1) and ordering edges
+    demand the same in :meth:`Mapping.validate`.  Distance-0 edges form
+    a DAG by DFG construction, so the longest such chain (node count)
+    bounds the schedule depth from below.
+    """
+    if dfg.num_nodes == 0:
+        return 0
+    succs: dict[int, list[int]] = {}
+    indegree: dict[int, int] = {node.node_id: 0 for node in dfg.nodes}
+    for edge in dfg.edges:
+        if edge.distance == 0:
+            succs.setdefault(edge.src, []).append(edge.dst)
+            indegree[edge.dst] += 1
+    depth = {node_id: 1 for node_id in indegree}
+    ready = [node_id for node_id, deg in indegree.items() if deg == 0]
+    while ready:
+        node_id = ready.pop()
+        for dst in succs.get(node_id, ()):
+            if depth[node_id] + 1 > depth[dst]:
+                depth[dst] = depth[node_id] + 1
+            indegree[dst] -= 1
+            if indegree[dst] == 0:
+                ready.append(dst)
+    return max(depth.values())
+
+
+def cycles_lower_bound(dfg: DFG, ii: int, makespan_floor: int | None = None
+                       ) -> int:
+    """A floor on ``total_cycles`` of any mapping of ``dfg`` at >= ``ii``.
+
+    Mirrors :meth:`Mapping.total_cycles` with the makespan replaced by
+    its provable floor; monotonically non-decreasing in ``ii``, so a
+    candidate whose bound loses at its current II loses at every II it
+    could still reach.
+    """
+    iterations = dfg.iterations
+    if iterations <= 0:
+        return 0
+    if makespan_floor is None:
+        makespan_floor = makespan_lower_bound(dfg)
+    return (iterations - 1) * ii + makespan_floor
+
+
+def select_winner(entries):
+    """The composite selection rule ``best`` and ``race`` share.
+
+    ``entries`` are ``(candidate order, Mapping)`` pairs; the winner is
+    the minimum by **(total cycles, candidate order)** — fewest total
+    cycles first, ties broken by position in the registry's candidate
+    tuple (first listed wins).  Returns ``None`` for no entries.
+    """
+    best = None
+    for order, mapping in entries:
+        rank = (mapping.total_cycles(), order)
+        if best is None or rank < best[0]:
+            best = (rank, mapping)
+    return best[1] if best is not None else None
+
+
+# ---------------------------------------------------------------------------
+# Adaptive budgets from result-store history
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class RacePlan:
+    """One race's schedule: start order and cooperative slice sizes.
+
+    Scheduling only — the plan never affects which candidate wins, what
+    any candidate computes, or the winner's bits; a bad plan just cuts
+    losers off later.
+    """
+
+    order: tuple[str, ...]
+    slices: dict  # candidate key -> restarts per cooperative turn
+
+
+class BudgetAdvisor:
+    """Per-(workload domain, fabric signature) start-order budgets.
+
+    Built from the persistent result store's history: for every
+    (workload, fabric signature) the store has evaluated under more than
+    one candidate mapper, the cheapest result counts as a *win* for its
+    mapper.  :meth:`plan` then schedules the best historical win-rate
+    first with a :data:`larger slice <_PRIORITY_SLICE>`; candidates the
+    history has never seen race on equal terms (slice 1, registry
+    order).
+    """
+
+    def __init__(self, records=None) -> None:
+        #: {(domain, fabric signature, mapper): [wins, trials]}
+        self._records: dict = dict(records or {})
+
+    @classmethod
+    def from_store(cls, store) -> "BudgetAdvisor":
+        """Aggregate ``store``'s result entries into win-rate records.
+
+        Only entries naming a known workload and architecture key count
+        (others cannot be classified); composite entries are skipped —
+        they do not say which candidate produced them.
+        """
+        advisor = cls()
+        if store is None:
+            return advisor
+        groups: dict = {}
+        for result in store.iter_results():
+            signature = _fabric_signature(result.arch_key)
+            if signature is None:
+                continue
+            group = groups.setdefault((result.workload, signature), {})
+            group[result.mapper] = min(
+                result.cycles, group.get(result.mapper, result.cycles))
+        for (workload, signature), by_mapper in groups.items():
+            if len(by_mapper) < 2:
+                continue        # nothing to compare against
+            domain = _workload_domain(workload)
+            cheapest = min(by_mapper.values())
+            for mapper, cycles in by_mapper.items():
+                record = advisor._records.setdefault(
+                    (domain, signature, mapper), [0, 0])
+                record[1] += 1
+                if cycles == cheapest:
+                    record[0] += 1
+        return advisor
+
+    def win_rate(self, domain: str, signature: str, mapper: str
+                 ) -> float | None:
+        record = self._records.get((domain, signature, mapper))
+        if not record or not record[1]:
+            return None
+        return record[0] / record[1]
+
+    def plan(self, candidates, domain: str, signature: str) -> RacePlan:
+        """Schedule ``candidates`` (registry order) for one race."""
+        rates = {key: self.win_rate(domain, signature, key)
+                 for key in candidates}
+        order = sorted(
+            range(len(candidates)),
+            key=lambda index: (-(rates[candidates[index]]
+                                 if rates[candidates[index]] is not None
+                                 else -1.0), index))
+        ordered = tuple(candidates[index] for index in order)
+        slices = {key: 1 for key in candidates}
+        leader = ordered[0] if ordered else None
+        if leader is not None and rates[leader] is not None and any(
+                rates[key] is None or rates[key] < rates[leader]
+                for key in candidates if key != leader):
+            slices[leader] = _PRIORITY_SLICE
+        return RacePlan(order=ordered, slices=slices)
+
+
+def _workload_domain(name: str) -> str:
+    from repro.workloads.registry import get_workload
+
+    try:
+        return get_workload(name).domain
+    except Exception:       # noqa: BLE001 — unknown/retired workload name
+        return "unknown"
+
+
+def _fabric_signature(arch_key: str) -> str | None:
+    from repro.eval.harness import build_arch
+    from repro.utils.signature import arch_structural_key
+
+    try:
+        return arch_structural_key(build_arch(arch_key))
+    except Exception:       # noqa: BLE001 — unknown/retired arch key
+        return None
+
+
+#: Advisor memo per store root (history is scanned once per process;
+#: :func:`repro.eval.harness.clear_caches` drops it via
+#: :func:`clear_advisor`).
+_ADVISORS: dict = {}
+
+
+def _active_advisor() -> BudgetAdvisor:
+    from repro.eval import harness
+
+    store = harness.active_store()
+    key = str(store.root) if store is not None else None
+    advisor = _ADVISORS.get(key)
+    if advisor is None:
+        advisor = _ADVISORS[key] = BudgetAdvisor.from_store(store)
+    return advisor
+
+
+def clear_advisor() -> None:
+    """Drop memoized budget history (harness cache clears call this)."""
+    _ADVISORS.clear()
+
+
+# ---------------------------------------------------------------------------
+# Pool sizing / oversubscription guard
+# ---------------------------------------------------------------------------
+_CONFIG = {"max_workers": None, "sweep_jobs": 1}
+
+
+def configure_racing(max_workers: int | None = None,
+                     sweep_jobs: int | None = None) -> None:
+    """Adjust this process's racing concurrency.
+
+    ``max_workers`` overrides the pool size outright (``None`` defers to
+    ``$REPRO_RACE_JOBS``, then the CPU fair share); ``sweep_jobs``
+    declares how many sweep workers this host is already running, so a
+    cell's racer only takes ``cpu_count // sweep_jobs`` processes —
+    ``repro sweep --jobs N`` sets it in every worker, which is what
+    keeps N cells racing K candidates from spawning N x K processes.
+    Arguments left ``None`` keep their current values.
+    """
+    if max_workers is not None:
+        _CONFIG["max_workers"] = max_workers if max_workers > 0 else None
+    if sweep_jobs is not None:
+        _CONFIG["sweep_jobs"] = max(1, sweep_jobs)
+
+
+def racing_workers(candidates: int) -> int:
+    """Process count a race over ``candidates`` may use; 0 = run the
+    cooperatively interleaved in-process schedule instead."""
+    if candidates < 2:
+        return 0
+    workers = _CONFIG["max_workers"]
+    if workers is None:
+        env = os.environ.get(RACE_JOBS_ENV, "").strip()
+        try:
+            workers = int(env) if env else None
+        except ValueError:
+            workers = None
+    if workers is None:
+        cpus = os.cpu_count() or 1
+        workers = max(1, cpus // _CONFIG["sweep_jobs"])
+    workers = min(workers, candidates)
+    if workers < 2:
+        return 0
+    # The racing pool shares one incumbent through fork-inherited memory;
+    # without fork there is no pool (the interleaved schedule still
+    # delivers the cutoff behaviour, single-process).
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return 0
+    return workers
+
+
+# ---------------------------------------------------------------------------
+# The shared incumbent + persistent worker pool
+# ---------------------------------------------------------------------------
+#: Shared (total cycles, candidate order) of the best finished candidate.
+#: Created before the pool so forked workers inherit it; guarded by its
+#: own lock.  Per-process: a forked child (e.g. a sweep worker) must not
+#: share its parent's channel, so creation is PID-stamped.
+_INCUMBENT = None
+_INCUMBENT_PID = 0
+
+_POOL = None
+_POOL_WORKERS = 0
+_POOL_PID = 0
+
+
+def _ensure_pool(workers: int) -> ProcessPoolExecutor:
+    global _INCUMBENT, _INCUMBENT_PID, _POOL, _POOL_WORKERS, _POOL_PID
+    pid = os.getpid()
+    if _POOL is not None and (_POOL_PID != pid or _POOL_WORKERS != workers):
+        if _POOL_PID == pid:
+            _POOL.shutdown(wait=False, cancel_futures=True)
+        _POOL = None
+    if _INCUMBENT is None or _INCUMBENT_PID != pid:
+        context = multiprocessing.get_context("fork")
+        _INCUMBENT = context.Array("q", [_NO_INCUMBENT, _NO_INCUMBENT])
+        _INCUMBENT_PID = pid
+    if _POOL is None:
+        _POOL = ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=multiprocessing.get_context("fork"))
+        _POOL_WORKERS = workers
+        _POOL_PID = pid
+    return _POOL
+
+
+def shutdown_racing() -> None:
+    """Tear down the persistent race pool (tests and atexit)."""
+    global _POOL
+    if _POOL is not None and _POOL_PID == os.getpid():
+        _POOL.shutdown(wait=False, cancel_futures=True)
+    _POOL = None
+
+
+atexit.register(shutdown_racing)
+
+
+def _publish_incumbent(cycles: int, order: int) -> None:
+    with _INCUMBENT.get_lock():
+        if (cycles, order) < (_INCUMBENT[0], _INCUMBENT[1]):
+            _INCUMBENT[0] = cycles
+            _INCUMBENT[1] = order
+
+
+def _race_candidate(key: str, dfg: DFG, arch: Architecture,
+                    seed: int | None, order: int, makespan_floor: int):
+    """Worker-side candidate run (also exercised in-process by tests).
+
+    Returns a plain outcome tuple: ``("ok", mapping)``, ``("cutoff",
+    ii, attempts, seconds)``, or ``("failed", message, attempts,
+    seconds)``.  The cutoff only fires when the candidate's cycle lower
+    bound at its current II cannot beat the published incumbent under
+    the :func:`select_winner` tie-break.
+    """
+    strategy = get_mapper(key).make(seed=seed)
+
+    def cutoff(ii: int) -> bool:
+        bound = cycles_lower_bound(dfg, ii, makespan_floor)
+        with _INCUMBENT.get_lock():
+            incumbent = (_INCUMBENT[0], _INCUMBENT[1])
+        return (bound, order) > incumbent
+
+    try:
+        mapping = default_engine().search(dfg, arch, strategy,
+                                          cutoff=cutoff)
+    except MappingCutoff as abandoned:
+        return ("cutoff", abandoned.ii, abandoned.attempts,
+                abandoned.seconds)
+    except MappingError as failure:
+        return ("failed", str(failure), getattr(failure, "attempts", 0),
+                getattr(failure, "seconds", 0.0))
+    _publish_incumbent(mapping.total_cycles(), order)
+    return ("ok", mapping)
+
+
+# ---------------------------------------------------------------------------
+# Race drivers
+# ---------------------------------------------------------------------------
+@dataclass
+class _Outcome:
+    """One candidate's collected result inside a composite run."""
+
+    key: str
+    order: int
+    mapping: Mapping | None
+    stats: CandidateStats
+
+
+def _outcome_from_tuple(key: str, order: int, raw, dfg: DFG,
+                        arch: Architecture) -> _Outcome:
+    tag = raw[0]
+    if tag == "ok":
+        mapping = raw[1]
+        # Workers pickled their own dfg/arch copies; rebind the parent's
+        # objects so the winner references the caller's instances.
+        mapping.dfg = dfg
+        mapping.arch = arch
+        return _Outcome(key=key, order=order, mapping=mapping,
+                        stats=CandidateStats(
+                            key=key, outcome="lost", ii=mapping.ii,
+                            total_cycles=mapping.total_cycles(),
+                            attempts=mapping.stats.attempts,
+                            seconds=mapping.stats.seconds))
+    if tag == "cutoff":
+        _ii, attempts, seconds = raw[1], raw[2], raw[3]
+        return _Outcome(key=key, order=order, mapping=None,
+                        stats=CandidateStats(key=key, outcome="cutoff",
+                                             attempts=attempts,
+                                             seconds=seconds))
+    return _Outcome(key=key, order=order, mapping=None,
+                    stats=CandidateStats(key=key, outcome="failed",
+                                         attempts=raw[2], seconds=raw[3]))
+
+
+def _race_pooled(info: MapperInfo, dfg: DFG, arch: Architecture, seed_for,
+                 plan: RacePlan, workers: int,
+                 makespan_floor: int) -> list[_Outcome]:
+    pool = _ensure_pool(workers)
+    with _INCUMBENT.get_lock():
+        _INCUMBENT[0] = _NO_INCUMBENT
+        _INCUMBENT[1] = _NO_INCUMBENT
+    orders = {key: order for order, key in enumerate(info.candidates)}
+    futures = {}
+    for key in plan.order:      # advisor priority = submission order
+        futures[key] = pool.submit(
+            _race_candidate, key, dfg, arch, seed_for(key), orders[key],
+            makespan_floor)
+    outcomes = []
+    for key in info.candidates:
+        outcomes.append(_outcome_from_tuple(
+            key, orders[key], futures[key].result(), dfg, arch))
+    return outcomes
+
+
+def _race_interleaved(info: MapperInfo, dfg: DFG, arch: Architecture,
+                      seed_for, plan: RacePlan,
+                      makespan_floor: int) -> list[_Outcome]:
+    """Single-process race: candidate searches advance round-robin
+    (advisor order, weighted slices) through ``search_iter``, sharing a
+    local incumbent.  The degraded mode for sweep workers and 1-CPU
+    hosts — same cutoffs, no process machinery."""
+    engine = default_engine()
+    incumbent = [_NO_INCUMBENT, _NO_INCUMBENT]
+    orders = {key: order for order, key in enumerate(info.candidates)}
+    searches = {}
+    clocks = {}
+    for key in info.candidates:
+        def cutoff(ii: int, order: int = orders[key]) -> bool:
+            bound = cycles_lower_bound(dfg, ii, makespan_floor)
+            return (bound, order) > (incumbent[0], incumbent[1])
+
+        strategy = get_mapper(key).make(seed=seed_for(key))
+        searches[key] = engine.search_iter(dfg, arch, strategy,
+                                           cutoff=cutoff)
+    outcomes = {}
+    while searches:
+        for key in plan.order:
+            steps = searches.get(key)
+            if steps is None:
+                continue
+            start = time.perf_counter()
+            outcome = None
+            try:
+                for _turn in range(plan.slices.get(key, 1)):
+                    next(steps)
+            except StopIteration as done:
+                mapping = done.value
+                _local_publish(incumbent, mapping.total_cycles(),
+                               orders[key])
+                outcome = _Outcome(
+                    key=key, order=orders[key], mapping=mapping,
+                    stats=CandidateStats(
+                        key=key, outcome="lost", ii=mapping.ii,
+                        total_cycles=mapping.total_cycles(),
+                        attempts=mapping.stats.attempts,
+                        seconds=mapping.stats.seconds))
+            except MappingCutoff as abandoned:
+                outcome = _Outcome(
+                    key=key, order=orders[key], mapping=None,
+                    stats=CandidateStats(
+                        key=key, outcome="cutoff",
+                        attempts=abandoned.attempts,
+                        seconds=clocks.get(key, 0.0) + abandoned.seconds))
+            except MappingError as failure:
+                outcome = _Outcome(
+                    key=key, order=orders[key], mapping=None,
+                    stats=CandidateStats(
+                        key=key, outcome="failed",
+                        attempts=getattr(failure, "attempts", 0),
+                        seconds=getattr(failure, "seconds", 0.0)))
+            if outcome is None:
+                clocks[key] = clocks.get(key, 0.0) \
+                    + (time.perf_counter() - start)
+            else:
+                outcomes[key] = outcome
+                del searches[key]
+    return [outcomes[key] for key in info.candidates]
+
+
+def _local_publish(incumbent: list, cycles: int, order: int) -> None:
+    if (cycles, order) < (incumbent[0], incumbent[1]):
+        incumbent[0] = cycles
+        incumbent[1] = order
+
+
+def _finish(info: MapperInfo, dfg: DFG, arch: Architecture,
+            outcomes: list[_Outcome]) -> Mapping:
+    winner = select_winner(
+        (o.order, o.mapping) for o in outcomes if o.mapping is not None)
+    if winner is None:
+        raise MappingError(
+            f"no baseline mapper could map '{dfg.name}' on {arch.name}"
+        )
+    for outcome in outcomes:
+        if outcome.mapping is winner:
+            outcome.stats.outcome = "won"
+    winner.stats.candidates = [o.stats for o in outcomes]
+    return winner
+
+
+# ---------------------------------------------------------------------------
+# Composite entry points
+# ---------------------------------------------------------------------------
+def run_composite(info: MapperInfo, dfg: DFG, arch: Architecture,
+                  seed_for) -> Mapping:
+    """Run a composite registry entry: sequential min for ``best``-style
+    entries, the racer for ``racing=True`` entries.  Both select with
+    :func:`select_winner` and record per-candidate stats on the winner.
+    """
+    if info.racing:
+        return run_race(info, dfg, arch, seed_for)
+    return _run_sequential(info, dfg, arch, seed_for)
+
+
+def _run_sequential(info: MapperInfo, dfg: DFG, arch: Architecture,
+                    seed_for) -> Mapping:
+    """The legacy ``best`` schedule: every candidate runs to completion,
+    in order, with no cutoffs — the conformance reference the racer must
+    match bit for bit."""
+    from repro.mapping.engine import map_kernel
+
+    outcomes = []
+    for order, key in enumerate(info.candidates):
+        try:
+            mapping = map_kernel(key, dfg, arch, seed_for)
+        except MappingError as failure:
+            outcomes.append(_Outcome(
+                key=key, order=order, mapping=None,
+                stats=CandidateStats(
+                    key=key, outcome="failed",
+                    attempts=getattr(failure, "attempts", 0),
+                    seconds=getattr(failure, "seconds", 0.0))))
+            continue
+        outcomes.append(_Outcome(
+            key=key, order=order, mapping=mapping,
+            stats=CandidateStats(
+                key=key, outcome="lost", ii=mapping.ii,
+                total_cycles=mapping.total_cycles(),
+                attempts=mapping.stats.attempts,
+                seconds=mapping.stats.seconds)))
+    return _finish(info, dfg, arch, outcomes)
+
+
+def run_race(info: MapperInfo, dfg: DFG, arch: Architecture,
+             seed_for) -> Mapping:
+    """Race ``info.candidates``; the winner is bit-identical to the
+    sequential composite's (same mapping, same winning candidate)."""
+    from repro.utils.signature import arch_structural_key
+
+    plan = _active_advisor().plan(
+        info.candidates, _workload_domain(dfg.name),
+        arch_structural_key(arch))
+    makespan_floor = makespan_lower_bound(dfg)
+    workers = racing_workers(len(info.candidates))
+    if workers >= 2:
+        try:
+            outcomes = _race_pooled(info, dfg, arch, seed_for, plan,
+                                    workers, makespan_floor)
+            return _finish(info, dfg, arch, outcomes)
+        except (BrokenProcessPool, OSError):
+            # A broken/forbidden pool must never fail the evaluation:
+            # candidates are standalone-deterministic, so restarting the
+            # whole race in-process yields the same winner.
+            shutdown_racing()
+    outcomes = _race_interleaved(info, dfg, arch, seed_for, plan,
+                                 makespan_floor)
+    return _finish(info, dfg, arch, outcomes)

@@ -1,0 +1,334 @@
+"""Portfolio mapper racing: conformance with ``best``, cutoff soundness,
+tie-breaking, adaptive budgets, and oversubscription guards.
+
+The racer's contract (:mod:`repro.mapping.race`) is that only the
+*schedule* races — the winner must be bit-identical to the sequential
+``best`` composite, cutoffs may only skip provably losing work, and the
+budget advisor may reorder candidates but never change results.
+"""
+
+import os
+
+import pytest
+
+from repro.errors import MappingCutoff, MappingError
+from repro.eval import harness
+from repro.eval.harness import _seed_for, build_arch
+from repro.mapping import race
+from repro.mapping.base import Mapping
+from repro.mapping.engine import (
+    default_engine, get_mapper, map_kernel, register_mapper,
+)
+from repro.mapping.race import (
+    BudgetAdvisor, configure_racing, cycles_lower_bound,
+    makespan_lower_bound, racing_workers, select_winner, shutdown_racing,
+)
+from repro.workloads import get_dfg
+
+#: The golden 5x3 grid's workloads (tests/data/golden_small_grid.json);
+#: their ``best``-mapped results on ``st`` are fixture-locked, so racing
+#: them is exactly the conformance surface the ISSUE pins down.
+GOLDEN_WORKLOADS = ["dwconv", "conv2x2", "gesum_u2", "atax_u2", "jacobi_u2"]
+
+
+def _seeds(workload, arch_key="st"):
+    """The exact per-candidate seeds the evaluation harness uses."""
+    return lambda key: _seed_for(workload, arch_key, key)
+
+
+def _assert_bit_identical(raced: Mapping, best: Mapping, label: str):
+    """Everything the golden fixture and the harness consume must match
+    (``seconds`` is wall-clock and legitimately differs)."""
+    assert raced.ii == best.ii, label
+    assert raced.placement == best.placement, label
+    assert raced.routes == best.routes, label
+    assert raced.total_cycles() == best.total_cycles(), label
+    assert raced.stats.mapper == best.stats.mapper, label
+    assert raced.stats.attempts == best.stats.attempts, label
+    assert raced.stats.routed_edges == best.stats.routed_edges, label
+    assert raced.stats.bypass_edges == best.stats.bypass_edges, label
+    assert raced.stats.routing_failures == best.stats.routing_failures, label
+
+
+@pytest.fixture
+def reset_racing():
+    """Restore racing config (and tear down any pool) after a test."""
+    yield
+    configure_racing(max_workers=0, sweep_jobs=1)
+    shutdown_racing()
+
+
+# ---------------------------------------------------------------------------
+# Conformance: race == best, bit for bit
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("workload", GOLDEN_WORKLOADS)
+def test_race_matches_best_interleaved(workload, reset_racing):
+    configure_racing(max_workers=1)     # force the in-process schedule
+    arch = build_arch("st")
+    best = map_kernel("best", get_dfg(workload), arch, _seeds(workload))
+    raced = map_kernel("race", get_dfg(workload), arch, _seeds(workload))
+    _assert_bit_identical(raced, best, workload)
+
+
+@pytest.mark.parametrize("workload", GOLDEN_WORKLOADS)
+def test_race_matches_best_pooled(workload, reset_racing):
+    if "fork" not in __import__("multiprocessing").get_all_start_methods():
+        pytest.skip("no fork start method on this platform")
+    configure_racing(max_workers=2)     # force the process pool
+    arch = build_arch("st")
+    best = map_kernel("best", get_dfg(workload), arch, _seeds(workload))
+    raced = map_kernel("race", get_dfg(workload), arch, _seeds(workload))
+    _assert_bit_identical(raced, best, workload)
+
+
+def test_race_candidate_stats_recorded(reset_racing):
+    configure_racing(max_workers=1)
+    arch = build_arch("st")
+    raced = map_kernel("race", get_dfg("dwconv"), arch, _seeds("dwconv"))
+    info = get_mapper("race")
+    assert [c.key for c in raced.stats.candidates] == list(info.candidates)
+    outcomes = {c.key: c.outcome for c in raced.stats.candidates}
+    assert outcomes[raced.stats.mapper] == "won"
+    winner_stats = next(c for c in raced.stats.candidates
+                        if c.key == raced.stats.mapper)
+    assert winner_stats.ii == raced.ii
+    assert winner_stats.total_cycles == raced.total_cycles()
+    assert winner_stats.attempts == raced.stats.attempts
+    assert all(c.outcome in ("won", "lost", "cutoff", "failed")
+               for c in raced.stats.candidates)
+
+
+def test_best_candidate_stats_recorded():
+    arch = build_arch("st")
+    best = map_kernel("best", get_dfg("dwconv"), arch, _seeds("dwconv"))
+    assert [c.key for c in best.stats.candidates] \
+        == list(get_mapper("best").candidates)
+    outcomes = [c.outcome for c in best.stats.candidates]
+    assert outcomes.count("won") == 1
+    # The sequential composite never cuts anyone off.
+    assert "cutoff" not in outcomes
+
+
+# ---------------------------------------------------------------------------
+# Cutoff soundness
+# ---------------------------------------------------------------------------
+def test_makespan_lower_bound_holds_on_golden_mappings():
+    arch = build_arch("st")
+    for workload in GOLDEN_WORKLOADS:
+        dfg = get_dfg(workload)
+        floor = makespan_lower_bound(dfg)
+        assert floor >= 1
+        for key in get_mapper("best").candidates:
+            try:
+                mapping = map_kernel(key, get_dfg(workload), arch,
+                                     _seeds(workload))
+            except MappingError:
+                continue
+            assert mapping.makespan >= floor, (workload, key)
+            assert mapping.total_cycles() >= cycles_lower_bound(
+                mapping.dfg, mapping.ii, floor), (workload, key)
+
+
+@pytest.mark.parametrize("workload", GOLDEN_WORKLOADS)
+def test_cutoff_candidates_provably_lose(workload, reset_racing):
+    """A candidate the racer cut off, run standalone to completion, must
+    never beat the declared winner under the (cycles, order) rule."""
+    configure_racing(max_workers=1)
+    arch = build_arch("st")
+    raced = map_kernel("race", get_dfg(workload), arch, _seeds(workload))
+    candidates = list(get_mapper("race").candidates)
+    winner_order = candidates.index(raced.stats.mapper)
+    winner_rank = (raced.total_cycles(), winner_order)
+    for cand in raced.stats.candidates:
+        if cand.outcome != "cutoff":
+            continue
+        try:
+            standalone = map_kernel(cand.key, get_dfg(workload), arch,
+                                    _seeds(workload))
+        except MappingError:
+            continue        # couldn't map at all: trivially no better
+        rank = (standalone.total_cycles(), candidates.index(cand.key))
+        assert rank > winner_rank, (workload, cand.key)
+
+
+def test_search_cutoff_raises_before_any_attempt():
+    dfg = get_dfg("dwconv")
+    arch = build_arch("st")
+    strategy = get_mapper("pathfinder").make(seed=7)
+    with pytest.raises(MappingCutoff) as exc:
+        default_engine().search(dfg, arch, strategy, cutoff=lambda ii: True)
+    assert exc.value.attempts == 0
+    assert exc.value.ii >= 1
+    # The cutoff is a MappingError subclass (engine plumbing) but the
+    # race driver consumes it — composites never surface it.
+    assert isinstance(exc.value, MappingError)
+
+
+def test_search_with_never_firing_cutoff_is_unchanged():
+    dfg = get_dfg("dwconv")
+    arch = build_arch("st")
+    plain = default_engine().search(
+        dfg, arch, get_mapper("pathfinder").make(seed=7))
+    gated = default_engine().search(
+        get_dfg("dwconv"), arch, get_mapper("pathfinder").make(seed=7),
+        cutoff=lambda ii: False)
+    assert gated.ii == plain.ii
+    assert gated.placement == plain.placement
+    assert gated.routes == plain.routes
+    assert gated.stats.attempts == plain.stats.attempts
+
+
+# ---------------------------------------------------------------------------
+# Tie-breaking (documented and locked)
+# ---------------------------------------------------------------------------
+def test_select_winner_breaks_ties_by_candidate_order():
+    dfg = get_dfg("dwconv")
+    arch = build_arch("st")
+    mapping = map_kernel("pathfinder", dfg, arch, _seeds("dwconv"))
+    other = map_kernel("pathfinder", get_dfg("dwconv"), arch,
+                       _seeds("dwconv"))
+    assert mapping.total_cycles() == other.total_cycles()
+    assert select_winner([(0, mapping), (1, other)]) is mapping
+    assert select_winner([(1, mapping), (0, other)]) is other
+    assert select_winner([]) is None
+
+
+def test_best_tie_breaks_by_registry_candidate_order():
+    """gemm_u4 on st is a real tie (both candidates land on the same
+    total cycles): ``best`` must keep the first-listed candidate, and a
+    composite listing the candidates in the opposite order must keep the
+    other — the rule is (min cycles, then candidate order)."""
+    arch = build_arch("st")
+    seeds = _seeds("gemm_u4")
+    outcomes = {}
+    for key in ("pathfinder", "sa"):
+        outcomes[key] = map_kernel(key, get_dfg("gemm_u4"), arch, seeds)
+    assert outcomes["pathfinder"].total_cycles() \
+        == outcomes["sa"].total_cycles(), \
+        "precondition: gemm_u4/st is the tie this test exercises"
+
+    best = map_kernel("best", get_dfg("gemm_u4"), arch, seeds)
+    assert best.stats.mapper == "pathfinder"
+
+    register_mapper("best-reversed-for-test", kind="composite",
+                    candidates=("sa", "pathfinder"),
+                    description="tie-break order probe (test-only)")
+    reversed_best = map_kernel("best-reversed-for-test",
+                               get_dfg("gemm_u4"), arch, seeds)
+    assert reversed_best.stats.mapper == "sa"
+
+
+# ---------------------------------------------------------------------------
+# Adaptive budgets
+# ---------------------------------------------------------------------------
+def test_advisor_plan_without_history_is_neutral():
+    plan = BudgetAdvisor().plan(("pathfinder", "sa"), "ml", "sig")
+    assert plan.order == ("pathfinder", "sa")
+    assert plan.slices == {"pathfinder": 1, "sa": 1}
+
+
+def test_advisor_plan_prioritizes_historical_winner():
+    advisor = BudgetAdvisor({
+        ("ml", "sig", "sa"): [3, 3],
+        ("ml", "sig", "pathfinder"): [0, 3],
+    })
+    plan = advisor.plan(("pathfinder", "sa"), "ml", "sig")
+    assert plan.order == ("sa", "pathfinder")
+    assert plan.slices["sa"] > plan.slices["pathfinder"] == 1
+    # Other (domain, signature) pairs have no history: neutral plan.
+    neutral = advisor.plan(("pathfinder", "sa"), "image", "sig")
+    assert neutral.order == ("pathfinder", "sa")
+    assert neutral.slices == {"pathfinder": 1, "sa": 1}
+
+
+def test_advisor_from_store_counts_wins(tmp_path):
+    harness.clear_caches()
+    store = harness.configure_store(tmp_path / "store")
+    try:
+        results = {}
+        for key in ("pathfinder", "sa"):
+            results[key] = harness.evaluate_kernel("dwconv", "st", key)
+        advisor = BudgetAdvisor.from_store(store)
+        from repro.utils.signature import arch_structural_key
+        signature = arch_structural_key(build_arch("st"))
+        cheapest = min(results.values(), key=lambda r: r.cycles)
+        assert advisor.win_rate("ml", signature, cheapest.mapper) == 1.0
+        loser = "sa" if cheapest.mapper == "pathfinder" else "pathfinder"
+        if results[loser].cycles > cheapest.cycles:
+            assert advisor.win_rate("ml", signature, loser) == 0.0
+    finally:
+        harness.clear_caches()
+
+
+def test_advisor_never_changes_race_results(tmp_path, reset_racing):
+    """Warm history only reorders the schedule — winners stay identical."""
+    configure_racing(max_workers=1)
+    arch = build_arch("st")
+    cold = {w: map_kernel("race", get_dfg(w), arch, _seeds(w))
+            for w in GOLDEN_WORKLOADS}
+    harness.clear_caches()
+    harness.configure_store(tmp_path / "store")
+    try:
+        for workload in GOLDEN_WORKLOADS:
+            for key in ("pathfinder", "sa"):
+                try:
+                    harness.evaluate_kernel(workload, "st", key)
+                except MappingError:
+                    pass
+        configure_racing(max_workers=1)
+        for workload in GOLDEN_WORKLOADS:
+            warm = map_kernel("race", get_dfg(workload), arch,
+                              _seeds(workload))
+            _assert_bit_identical(warm, cold[workload], workload)
+    finally:
+        harness.clear_caches()
+
+
+def test_clear_caches_drops_advisor_memo(tmp_path):
+    harness.clear_caches()
+    harness.configure_store(tmp_path / "store")
+    try:
+        race._active_advisor()
+        assert race._ADVISORS
+    finally:
+        harness.clear_caches()
+    assert not race._ADVISORS
+
+
+# ---------------------------------------------------------------------------
+# Oversubscription / configuration
+# ---------------------------------------------------------------------------
+def test_racing_workers_respects_sweep_share(reset_racing):
+    cpus = os.cpu_count() or 1
+    configure_racing(sweep_jobs=cpus)       # fair share collapses to 1
+    assert racing_workers(2) == 0
+    configure_racing(max_workers=2, sweep_jobs=1)
+    if "fork" in __import__("multiprocessing").get_all_start_methods():
+        assert racing_workers(2) == 2
+        assert racing_workers(3) == 2       # capped by the explicit limit
+    assert racing_workers(1) == 0           # nothing to race
+
+
+def test_racing_workers_env_override(reset_racing, monkeypatch):
+    monkeypatch.setenv(race.RACE_JOBS_ENV, "1")
+    assert racing_workers(2) == 0           # forced sequential
+    monkeypatch.setenv(race.RACE_JOBS_ENV, "not-a-number")
+    racing_workers(2)                       # falls back without raising
+
+
+def test_race_identical_under_sweep_worker_config(reset_racing):
+    """A sweep worker's configuration (fair share exhausted) must still
+    produce the bit-identical winner via the interleaved fallback."""
+    arch = build_arch("st")
+    best = map_kernel("best", get_dfg("atax_u2"), arch, _seeds("atax_u2"))
+    configure_racing(sweep_jobs=max(2, os.cpu_count() or 2))
+    raced = map_kernel("race", get_dfg("atax_u2"), arch, _seeds("atax_u2"))
+    _assert_bit_identical(raced, best, "atax_u2 under sweep_jobs cap")
+
+
+def test_registry_race_entry():
+    info = get_mapper("race")
+    assert info.kind == "composite"
+    assert info.racing
+    assert info.candidates == get_mapper("best").candidates
+    assert not get_mapper("best").racing
