@@ -23,7 +23,12 @@ Commands:
 * ``mappers``  — list every registered mapper (the registry in
   :mod:`repro.mapping.engine` is the single source of truth; ``--mapper``
   choices everywhere derive from it);
-* ``workloads`` — list the 30 evaluated DFGs.
+* ``workloads`` — list the 30 evaluated DFGs and their variant families
+  (``--variants`` expands every family member).
+
+``map``/``simulate``/``sweep`` accept variant names (``gemm_t4x4_u2``)
+anywhere a workload name is expected, and ``sweep --variants`` expands
+whole families and reports the best variant per (family, architecture).
 """
 
 from __future__ import annotations
@@ -45,8 +50,18 @@ def _load_dfg(args):
             source = handle.read()
         shapes = {}
         for spec in (args.shape or []):
-            name, dims = spec.split("=")
-            shapes[name] = tuple(int(d) for d in dims.split("x"))
+            name, sep, dims = spec.partition("=")
+            try:
+                parsed = tuple(int(d) for d in dims.split("x")) if dims \
+                    else ()
+            except ValueError:
+                parsed = ()
+            if not sep or not name or not parsed \
+                    or any(d <= 0 for d in parsed):
+                raise ReproError(
+                    f"malformed --shape '{spec}': expected ARR=RxC with "
+                    "positive integer dims, e.g. --shape A=16x16")
+            shapes[name] = parsed
         return compile_kernel(source, name=args.file, array_shapes=shapes,
                               unroll=args.unroll)
     raise ReproError("give --workload NAME or --file KERNEL.c")
@@ -183,7 +198,8 @@ def cmd_sweep(args) -> int:
     from repro.eval import distributed, harness, parallel
     from repro.eval.cache import CACHE_DIR_ENV
     from repro.eval.reporting import (
-        render_sweep, sweep_to_csv, sweep_to_json,
+        best_variant_rows, render_best_variants, render_sweep,
+        sweep_to_csv, sweep_to_json,
     )
     from repro.utils.atomicio import atomic_write_text
     import os
@@ -207,6 +223,12 @@ def cmd_sweep(args) -> int:
     if args.workloads:
         workloads = [name.strip()
                      for name in args.workloads.split(",") if name.strip()]
+    if args.variants:
+        # Expand every named workload (or the full Table-2 list) into its
+        # transform-variant family before the grid is built, so caching,
+        # sharding, and manifests all see plain workload names.
+        from repro.workloads.registry import expand_families
+        workloads = expand_families(workloads)
 
     manifest = None
     manifest_path = Path(args.manifest) if args.manifest else None
@@ -215,7 +237,7 @@ def cmd_sweep(args) -> int:
         # are only accepted when they describe the very same grid.
         manifest = distributed.SweepManifest.load(manifest_path)
         manifest.verify()
-        if args.workloads or args.arch or args.mapper:
+        if args.workloads or args.arch or args.mapper or args.variants:
             built = parallel.build_grid(workloads=workloads,
                                         arch_keys=args.arch,
                                         mapper=args.mapper)
@@ -251,12 +273,15 @@ def cmd_sweep(args) -> int:
         manifest.mark(report)
         manifest.save(manifest_path)
 
+    best = best_variant_rows(report) if args.variants else None
     if args.format == "json":
-        text = sweep_to_json(report)
+        text = sweep_to_json(report, best_variants=best)
     elif args.format == "csv":
         text = sweep_to_csv(report)
     else:
         text = render_sweep(report)
+        if best is not None:
+            text += "\n" + render_best_variants(best)
     if args.output:
         # Atomic: a crash (or a concurrent reader / rsync) must never
         # observe a truncated results file.
@@ -328,12 +353,23 @@ def cmd_cache_gc(args) -> int:
     return 0
 
 
-def cmd_workloads(_args) -> int:
+def cmd_workloads(args) -> int:
     from repro.utils.tables import format_table
-    from repro.workloads import all_workloads
+    from repro.workloads import all_workloads, family_kernels, variants_of
 
-    rows = [[s.name, s.kernel, s.domain, s.unroll] for s in all_workloads()]
-    print(format_table(["name", "kernel", "domain", "unroll"], rows))
+    if args.variants:
+        rows = []
+        for kernel in family_kernels():
+            for spec in variants_of(kernel):
+                rows.append([spec.name, spec.kernel, spec.domain,
+                             spec.unroll, spec.recipe or "-"])
+        print(format_table(["name", "kernel", "domain", "unroll", "recipe"],
+                           rows, title="Workload families"))
+        return 0
+    rows = [[s.name, s.kernel, s.domain, s.unroll,
+             len(variants_of(s.kernel))] for s in all_workloads()]
+    print(format_table(["name", "kernel", "domain", "unroll", "family"],
+                       rows))
     return 0
 
 
@@ -359,7 +395,9 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_dfg_args(p):
-        p.add_argument("--workload", help="registered workload name")
+        p.add_argument("--workload",
+                       help="workload name (registered or a variant like "
+                            "gemm_t4x4_u2; see 'repro workloads')")
         p.add_argument("--file", help="annotated-C kernel file")
         p.add_argument("--shape", action="append", metavar="ARR=RxC",
                        help="array shape, e.g. A=16x16 (repeatable)")
@@ -428,7 +466,14 @@ def build_parser() -> argparse.ArgumentParser:
         ))
     p_sweep.add_argument("--workloads",
                          help="comma-separated workload names (default: "
-                              "all 30 Table-2 workloads)")
+                              "all 30 Table-2 workloads); variant names "
+                              "like gemm_t4x4_u2 are accepted")
+    p_sweep.add_argument("--variants", action="store_true",
+                         help="expand every workload into its transform-"
+                              "variant family (interpreter-verified "
+                              "tilings, interchanges, deeper unrollings) "
+                              "and report the best variant per (family, "
+                              "architecture)")
     p_sweep.add_argument("--arch", action="append",
                          choices=["st", "spatial", "plaid", "plaid3x3",
                                   "st-ml", "plaid-ml"],
@@ -504,7 +549,11 @@ def build_parser() -> argparse.ArgumentParser:
                            "(e.g. 3600, 90m, 12h, 7d)")
     p_gc.set_defaults(func=cmd_cache_gc)
 
-    p_wl = sub.add_parser("workloads", help="list evaluated workloads")
+    p_wl = sub.add_parser(
+        "workloads", help="list evaluated workloads and variant families")
+    p_wl.add_argument("--variants", action="store_true",
+                      help="list every family member, including the "
+                           "recipe-generated variants")
     p_wl.set_defaults(func=cmd_workloads)
 
     p_mappers = sub.add_parser(

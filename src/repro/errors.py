@@ -17,6 +17,11 @@ class FrontendError(ReproError):
     """Lexing, parsing, or lowering of an annotated-C kernel failed."""
 
 
+class TransformError(FrontendError):
+    """An AST loop transform (unroll, tile, interchange, ...) or recipe is
+    malformed or not applicable to the kernel's loop nest."""
+
+
 class MotifError(ReproError):
     """Motif identification or hierarchical-DFG construction failed."""
 

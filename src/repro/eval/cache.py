@@ -71,14 +71,22 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 
 def workload_signature(spec: "WorkloadSpec") -> dict:
-    """The part of a workload spec that determines its DFG."""
-    return {
+    """The part of a workload spec that determines its DFG.
+
+    The transform recipe joins the signature only when present, so every
+    recipe-free spec keeps the fingerprint it had before the variant
+    layer existed — no cache invalidation for the Table-2 grid.
+    """
+    signature = {
         "name": spec.name,
         "kernel": spec.kernel,
         "source": spec.source,
         "shapes": [[name, list(dims)] for name, dims in spec.shapes],
         "unroll": spec.unroll,
     }
+    if getattr(spec, "recipe", ""):
+        signature["recipe"] = spec.recipe
+    return signature
 
 
 def fingerprint(spec: "WorkloadSpec", arch: "Architecture",

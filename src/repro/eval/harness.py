@@ -370,5 +370,7 @@ def clear_caches() -> None:
     _STORE_RESOLVED = False
     EVAL_STATS.reset()
     build_arch.cache_clear()
+    from repro.workloads import registry
+    registry.clear_dfg_caches()   # variant expansion multiplies cached DFGs
     from repro.mapping import race
     race.clear_advisor()    # budget history is derived from the store

@@ -129,12 +129,17 @@ def render_sweep(report) -> str:
     return f"{table}\n{report.summary()}"
 
 
-def sweep_to_json(report) -> str:
-    """Machine-readable sweep record (cells + summary + cache stats)."""
+def sweep_to_json(report, best_variants: "list[list[object]] | None" = None
+                  ) -> str:
+    """Machine-readable sweep record (cells + summary + cache stats).
+
+    ``best_variants`` (rows from :func:`best_variant_rows`) adds a
+    ``best_variants`` key; plain sweeps keep the exact historical shape.
+    """
     import json
 
     cells = [dict(zip(SWEEP_HEADERS, row)) for row in sweep_rows(report)]
-    return json.dumps({
+    record = {
         "cells": cells,
         "summary": {
             "total": len(report.outcomes),
@@ -145,7 +150,67 @@ def sweep_to_json(report) -> str:
             "seconds": report.seconds,
         },
         "store": report.store_stats,
-    }, indent=2, sort_keys=True)
+    }
+    if best_variants is not None:
+        record["best_variants"] = [
+            dict(zip(BEST_VARIANT_HEADERS, row)) for row in best_variants
+        ]
+    return json.dumps(record, indent=2, sort_keys=True)
+
+
+# ---------------------------------------------------------------------------
+# Variant-family aggregation (`repro sweep --variants`)
+# ---------------------------------------------------------------------------
+BEST_VARIANT_HEADERS = ["family", "arch", "best", "recipe", "ii", "cycles",
+                        "baseline", "baseline_cycles", "speedup"]
+
+
+def best_variant_rows(report) -> list[list[object]]:
+    """Best family member per (kernel family, architecture).
+
+    Groups successful sweep cells by the kernel family of their workload
+    and picks the member with the fewest cycles (ties break to grid
+    order).  The baseline is the best *registered* recipe-free member of
+    the family in the same grid; ``speedup`` is baseline cycles over best
+    cycles, so values above 1.0 mean a transform variant beat every
+    Table-2 spec of its family on that fabric.
+    """
+    from repro.errors import WorkloadError
+    from repro.workloads.registry import get_workload
+
+    groups: dict[tuple[str, str], list] = {}
+    for outcome in report.outcomes:
+        if not outcome.ok:
+            continue
+        try:
+            spec = get_workload(outcome.cell.workload)
+        except WorkloadError:
+            continue
+        key = (spec.kernel, outcome.cell.arch_key)
+        groups.setdefault(key, []).append((spec, outcome))
+    rows: list[list[object]] = []
+    for (family, arch), members in groups.items():
+        best_spec, best = min(members,
+                              key=lambda pair: pair[1].result.cycles)
+        recipe = best_spec.recipe or f"u{best_spec.unroll}"
+        baselines = [pair for pair in members if not pair[0].is_variant]
+        if baselines:
+            base_spec, base = min(baselines,
+                                  key=lambda pair: pair[1].result.cycles)
+            speedup = base.result.cycles / best.result.cycles
+            rows.append([family, arch, best_spec.name, recipe,
+                         best.result.ii, best.result.cycles,
+                         base_spec.name, base.result.cycles, speedup])
+        else:
+            rows.append([family, arch, best_spec.name, recipe,
+                         best.result.ii, best.result.cycles, "", "", ""])
+    return rows
+
+
+def render_best_variants(rows: list[list[object]]) -> str:
+    """Best-variant rows as a text table."""
+    return format_table(BEST_VARIANT_HEADERS, rows,
+                        title="Best variant per (family, arch)")
 
 
 def sweep_to_csv(report) -> str:

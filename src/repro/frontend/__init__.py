@@ -4,7 +4,9 @@ The paper's toolchain takes loops annotated with ``#pragma plaid`` in C and
 produces dataflow graphs.  This package implements that path for a restricted
 C subset: perfectly nested ``for`` loops with affine array subscripts,
 16-bit integer expressions over ``+ - * << >> & | ^ ~``, scalar temporaries,
-and ``+=`` reductions.  Lowering performs innermost-loop unrolling, common
+and ``+=`` reductions.  Loop restructuring — unrolling (pragma or recipe),
+tiling, interchange, unroll-and-jam — happens as pure AST→AST passes in
+:mod:`repro.frontend.transforms`; lowering then performs common
 subexpression elimination, reduction recognition (loop-carried recurrence
 edges), and memory-carried dependence detection for in-place stencils.
 """
@@ -12,5 +14,15 @@ edges), and memory-carried dependence detection for in-place stencils.
 from repro.frontend.lexer import Token, tokenize
 from repro.frontend.parser import parse_kernel
 from repro.frontend.lower import compile_kernel
+from repro.frontend.transforms import (
+    Recipe, as_recipe, interchange, parse_recipe, tile, unroll,
+    unroll_and_jam,
+)
+from repro.frontend.cast import structurally_equal
 
-__all__ = ["Token", "tokenize", "parse_kernel", "compile_kernel"]
+__all__ = [
+    "Token", "tokenize", "parse_kernel", "compile_kernel",
+    "Recipe", "as_recipe", "parse_recipe",
+    "unroll", "tile", "interchange", "unroll_and_jam",
+    "structurally_equal",
+]

@@ -3,7 +3,6 @@
 Responsibilities (mirroring the paper's DFG-generation step):
 
 * flatten the (perfect) loop nest into an iteration space;
-* unroll the innermost loop by the pragma (or override) factor;
 * linearize affine array subscripts into :class:`AffineAccess` descriptors
   using caller-provided array shapes;
 * common-subexpression-eliminate loads and pure compute nodes;
@@ -13,6 +12,12 @@ Responsibilities (mirroring the paper's DFG-generation step):
   add (scalar accumulators);
 * run a memory dependence pass adding ordering edges for loop-carried
   flow/anti/output dependences (in-place stencils like seidel).
+
+Loop restructuring (unrolling included) is *not* lowering's business:
+``compile_kernel`` applies the ``#pragma plaid unroll`` factor and any
+transform recipe as AST→AST passes (:mod:`repro.frontend.transforms`)
+before handing the nest to :class:`_Lowering`, which only accepts perfect
+nests whose innermost loop may carry multiple statements.
 """
 
 from __future__ import annotations
@@ -80,23 +85,14 @@ class _Affine:
 class _Lowering:
     """Single-use lowering context for one kernel."""
 
-    def __init__(self, kernel: Kernel, array_shapes: dict[str, tuple[int, ...]],
-                 unroll: int) -> None:
+    def __init__(self, kernel: Kernel,
+                 array_shapes: dict[str, tuple[int, ...]]) -> None:
         self.kernel = kernel
         self.array_shapes = array_shapes
-        self.unroll = unroll
         self.loop_vars: list[str] = []
         self.trip_counts: list[int] = []
         self.statements: list[Assign] = []
         self._collect_nest()
-        if self.unroll > 1:
-            inner_trip = self.trip_counts[-1]
-            if inner_trip % self.unroll != 0:
-                raise FrontendError(
-                    f"unroll factor {self.unroll} does not divide innermost "
-                    f"trip count {inner_trip}"
-                )
-            self.trip_counts[-1] = inner_trip // self.unroll
         self.dfg = DFG(kernel.name, loop_dims=len(self.loop_vars),
                        trip_counts=tuple(self.trip_counts))
         # CSE tables and memory state, reset per kernel.
@@ -144,9 +140,8 @@ class _Lowering:
     # Driving
     # ------------------------------------------------------------------
     def lower(self) -> DFG:
-        for replica in range(self.unroll):
-            for statement in self.statements:
-                self._lower_statement(statement, replica)
+        for statement in self.statements:
+            self._lower_statement(statement)
         self._commit_accumulators()
         self._memory_dependence_pass()
         self.dfg.validate()
@@ -186,12 +181,8 @@ class _Lowering:
                 )
         raise FrontendError(f"line {line}: subscript is not affine")
 
-    def _linearize(self, ref: ArrayRef, replica: int, line: int) -> AffineAccess:
-        """Turn a multi-dim affine subscript into a flat AffineAccess.
-
-        Unrolling substitutes ``j -> unroll*j' + replica`` for the innermost
-        loop variable before linearization.
-        """
+    def _linearize(self, ref: ArrayRef, line: int) -> AffineAccess:
+        """Turn a multi-dim affine subscript into a flat AffineAccess."""
         shape = self.array_shapes.get(ref.name)
         if shape is None:
             if len(ref.indices) != 1:
@@ -213,22 +204,14 @@ class _Lowering:
             for later in shape[dim + 1:]:
                 pitch *= later
             total = total.add(affine.scale(pitch))
-        # Innermost-loop unroll substitution.
-        inner = self.loop_vars[-1]
-        base = total.const
         coeff_map = dict(total.coeffs)
-        if inner in coeff_map and self.unroll > 1:
-            inner_coeff = coeff_map[inner]
-            coeff_map[inner] = inner_coeff * self.unroll
-            base += inner_coeff * replica
         coeffs = tuple(coeff_map.get(var, 0) for var in self.loop_vars)
-        return AffineAccess(ref.name, base=base, coeffs=coeffs)
+        return AffineAccess(ref.name, base=total.const, coeffs=coeffs)
 
     # ------------------------------------------------------------------
     # Expression lowering
     # ------------------------------------------------------------------
-    def _lower_expr(self, expr: object, replica: int, line: int
-                    ) -> DFGNode | int:
+    def _lower_expr(self, expr: object, line: int) -> DFGNode | int:
         """Returns a node or a Python int (a constant value)."""
         if isinstance(expr, IntLit):
             return expr.value
@@ -245,9 +228,9 @@ class _Lowering:
                 )
             return node
         if isinstance(expr, ArrayRef):
-            return self._lower_load(expr, replica, line)
+            return self._lower_load(expr, line)
         if isinstance(expr, UnaryOp):
-            value = self._lower_expr(expr.operand, replica, line)
+            value = self._lower_expr(expr.operand, line)
             if isinstance(value, int):
                 folded = -value if expr.op == "-" else ~value
                 return to_unsigned(folded)
@@ -255,16 +238,16 @@ class _Lowering:
                 return self._emit(Opcode.NOT, [value], line=line)
             return self._emit(Opcode.SUB, [0, value], line=line)
         if isinstance(expr, Call):
-            args = [self._lower_expr(arg, replica, line) for arg in expr.args]
+            args = [self._lower_expr(arg, line) for arg in expr.args]
             opcode = _CALL_OPCODES[expr.func]
             if all(isinstance(arg, int) for arg in args):
                 return evaluate(opcode, [to_unsigned(a) for a in args])
             return self._emit(opcode, args, line=line)
         if isinstance(expr, BinOp):
             if expr.op == "+":
-                return self._lower_sum(expr, replica, line)
-            left = self._lower_expr(expr.left, replica, line)
-            right = self._lower_expr(expr.right, replica, line)
+                return self._lower_sum(expr, line)
+            left = self._lower_expr(expr.left, line)
+            right = self._lower_expr(expr.right, line)
             opcode = _BINOP_OPCODES[expr.op]
             if isinstance(left, int) and isinstance(right, int):
                 return evaluate(opcode,
@@ -272,8 +255,7 @@ class _Lowering:
             return self._emit(opcode, [left, right], line=line)
         raise FrontendError(f"line {line}: cannot lower expression {expr!r}")
 
-    def _lower_sum(self, expr: BinOp, replica: int, line: int
-                   ) -> DFGNode | int:
+    def _lower_sum(self, expr: BinOp, line: int) -> DFGNode | int:
         """Reassociate a ``+`` spine into a balanced add tree.
 
         Source-level sums are left-associative, which would serialize
@@ -291,7 +273,7 @@ class _Lowering:
                 terms.append(node)
 
         collect(expr)
-        lowered = [self._lower_expr(term, replica, line) for term in terms]
+        lowered = [self._lower_expr(term, line) for term in terms]
         const_total = sum(v for v in lowered if isinstance(v, int))
         nodes = [v for v in lowered if not isinstance(v, int)]
         if not nodes:
@@ -338,8 +320,8 @@ class _Lowering:
              for _slot, op in node_operands), default=0)
         return node
 
-    def _lower_load(self, ref: ArrayRef, replica: int, line: int) -> DFGNode:
-        access = self._linearize(ref, replica, line)
+    def _lower_load(self, ref: ArrayRef, line: int) -> DFGNode:
+        access = self._linearize(ref, line)
         forwarded = self._forward.get(access)
         if forwarded is not None:
             return forwarded
@@ -353,9 +335,9 @@ class _Lowering:
     # ------------------------------------------------------------------
     # Statement lowering
     # ------------------------------------------------------------------
-    def _lower_statement(self, statement: Assign, replica: int) -> None:
+    def _lower_statement(self, statement: Assign) -> None:
         line = statement.line
-        value = self._lower_expr(statement.expr, replica, line)
+        value = self._lower_expr(statement.expr, line)
         if isinstance(statement.target, VarRef):
             name = statement.target.name
             if name in self.loop_vars:
@@ -374,7 +356,7 @@ class _Lowering:
                 self._scalars[name] = value
             return
         assert isinstance(statement.target, ArrayRef)
-        access = self._linearize(statement.target, replica, line)
+        access = self._linearize(statement.target, line)
         if statement.op == "+=":
             key = ("array", access)
             self._accumulators.setdefault(key, []).append(value)
@@ -602,7 +584,8 @@ class _Lowering:
 
 def compile_kernel(source: str, name: str = "kernel",
                    array_shapes: dict[str, tuple[int, ...]] | None = None,
-                   unroll: int | None = None) -> DFG:
+                   unroll: int | None = None,
+                   recipe: "str | object | None" = None) -> DFG:
     """Compile annotated-C kernel source into a validated DFG.
 
     Args:
@@ -611,8 +594,18 @@ def compile_kernel(source: str, name: str = "kernel",
         array_shapes: shapes for multi-dimensional arrays, e.g.
             ``{"A": (16, 16)}``; 1-D arrays need no entry.
         unroll: overrides the pragma's unroll factor when given.
+        recipe: optional transform recipe — a spec string like
+            ``"t4x4_u2"`` or a :class:`~repro.frontend.transforms.Recipe`
+            — applied to the AST before the pragma/override unroll factor.
     """
+    from repro.frontend import transforms
     kernel = parse_kernel(source, name=name)
     factor = unroll if unroll is not None else kernel.unroll
-    lowering = _Lowering(kernel, array_shapes or {}, factor)
+    if recipe:
+        kernel = transforms.as_recipe(recipe).apply(kernel)
+    if factor != 1:
+        # The pragma unroll is itself just an AST transform now; lowering
+        # sees the already-replicated innermost body.
+        kernel = transforms.unroll(kernel, kernel.innermost().var, factor)
+    lowering = _Lowering(kernel, array_shapes or {})
     return lowering.lower()

@@ -1,0 +1,433 @@
+"""AST→AST loop transforms and named recipes over the kernel nest.
+
+Each transform is a pure ``Kernel → Kernel`` rewrite (the input tree is
+never mutated or aliased into the result):
+
+* :func:`unroll` — replicate a loop body with ``v -> factor*v + r``
+  substitution, at any nest level (generalizing the innermost-only
+  ``#pragma plaid unroll``, which lowering now routes through this pass);
+* :func:`tile` — strip-mine one loop into an immediately nested
+  ``vo``/``vi`` pair (iteration order preserved, so it is legal even for
+  order-sensitive in-place stencils);
+* :func:`interchange` — swap an adjacent, perfectly nested loop pair;
+* :func:`unroll_and_jam` — unroll an outer loop and fuse the replicated
+  inner loops back together element-wise.
+
+Transforms compose into named recipes.  Recipe grammar (steps joined by
+``_``; a recipe's canonical spec doubles as the variant-name suffix in
+:mod:`repro.workloads.registry`, e.g. ``gemm_t4x4_u2``)::
+
+    recipe := step ('_' step)*
+    step   := 'u'  F            unroll the innermost loop by F
+            | 'uj' F            unroll-and-jam the outermost loop by F
+            | 'uj' D 'x' F      unroll-and-jam the loop at depth D by F
+            | 't'  S0 ('x' Si)* strip-mine the leading loops by sizes
+                                (size 1 = leave that loop alone)
+            | 'ic' D            interchange the loops at depths D and D+1
+
+Depths index the perfect spine of the nest *at the time the step runs*
+(steps apply sequentially, so ``t2x2_ic1`` interchanges loops of the
+already-tiled nest).  Errors raise :class:`~repro.errors.TransformError`,
+a :class:`~repro.errors.FrontendError` subclass.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import TransformError
+from repro.frontend.cast import (
+    ArrayRef, Assign, BinOp, Call, ForLoop, IntLit, Kernel, UnaryOp, VarRef,
+    clone_kernel, nest_chain, walk_loops,
+)
+
+__all__ = [
+    "unroll", "tile", "interchange", "unroll_and_jam",
+    "Recipe", "parse_recipe", "as_recipe", "substitute",
+]
+
+
+# ----------------------------------------------------------------------
+# Substitution and rebuilding
+# ----------------------------------------------------------------------
+
+def substitute(expr: object, var: str, replacement: object) -> object:
+    """Rebuild ``expr`` with every ``VarRef(var)`` replaced."""
+    if isinstance(expr, IntLit):
+        return expr
+    if isinstance(expr, VarRef):
+        return replacement if expr.name == var else expr
+    if isinstance(expr, ArrayRef):
+        return ArrayRef(expr.name, tuple(
+            substitute(index, var, replacement) for index in expr.indices))
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, substitute(expr.operand, var, replacement))
+    if isinstance(expr, BinOp):
+        return BinOp(expr.op, substitute(expr.left, var, replacement),
+                     substitute(expr.right, var, replacement))
+    if isinstance(expr, Call):
+        return Call(expr.func, tuple(
+            substitute(arg, var, replacement) for arg in expr.args))
+    raise TransformError(f"cannot substitute into {expr!r}")
+
+
+def _subst_item(item: object, var: str, replacement: object) -> object:
+    if isinstance(item, ForLoop):
+        return ForLoop(item.var, item.bound, [
+            _subst_item(child, var, replacement) for child in item.body])
+    assert isinstance(item, Assign)
+    # Scalar targets keep their name: a legal kernel never assigns a loop
+    # variable, and lowering rejects it with a better message if one does.
+    target = (substitute(item.target, var, replacement)
+              if isinstance(item.target, ArrayRef) else item.target)
+    return Assign(target, item.op,
+                  substitute(item.expr, var, replacement), item.line)
+
+
+def _rewrite_loop(kernel: Kernel, var: str, rewrite) -> Kernel:
+    """Pure rebuild of the kernel with loop ``var`` replaced by
+    ``rewrite(loop) -> list[ForLoop | Assign]``."""
+    found = False
+
+    def rebuild(item: object) -> list:
+        nonlocal found
+        if not isinstance(item, ForLoop):
+            return [item]
+        if item.var == var:
+            found = True
+            return rewrite(item)
+        return [ForLoop(item.var, item.bound, [
+            new for child in item.body for new in rebuild(child)])]
+
+    loops = [new for loop in kernel.loops for new in rebuild(loop)]
+    if not found:
+        raise TransformError(
+            f"kernel '{kernel.name}' has no loop '{var}'")
+    return Kernel(kernel.name, kernel.unroll, loops)
+
+
+def _all_names(kernel: Kernel) -> set[str]:
+    """Every identifier in the kernel (loop vars, scalars, arrays)."""
+    names: set[str] = set()
+
+    def visit(expr: object) -> None:
+        if isinstance(expr, VarRef):
+            names.add(expr.name)
+        elif isinstance(expr, ArrayRef):
+            names.add(expr.name)
+            for index in expr.indices:
+                visit(index)
+        elif isinstance(expr, UnaryOp):
+            visit(expr.operand)
+        elif isinstance(expr, BinOp):
+            visit(expr.left)
+            visit(expr.right)
+        elif isinstance(expr, Call):
+            for arg in expr.args:
+                visit(arg)
+
+    for loop in walk_loops(kernel):
+        names.add(loop.var)
+        for item in loop.body:
+            if isinstance(item, Assign):
+                visit(item.target)
+                visit(item.expr)
+    return names
+
+
+def _replica_expr(var: str, factor: int, replica: int) -> BinOp:
+    return BinOp("+", BinOp("*", IntLit(factor), VarRef(var)),
+                 IntLit(replica))
+
+
+# ----------------------------------------------------------------------
+# Transforms
+# ----------------------------------------------------------------------
+
+def unroll(kernel: Kernel, var: str, factor: int) -> Kernel:
+    """Unroll loop ``var`` by ``factor`` (replica-major body replication).
+
+    Works at any nest level; unrolling a non-innermost loop produces
+    sibling inner loops, which lowering rejects as an imperfect nest —
+    use :func:`unroll_and_jam` there instead.
+    """
+    if factor < 1:
+        raise TransformError(f"unroll factor must be >= 1, got {factor}")
+    if factor == 1:
+        return clone_kernel(kernel)
+
+    def rewrite(loop: ForLoop) -> list:
+        if loop.bound % factor != 0:
+            raise TransformError(
+                f"unroll factor {factor} does not divide loop '{var}' "
+                f"trip count {loop.bound}")
+        body: list = []
+        for replica in range(factor):
+            replacement = _replica_expr(var, factor, replica)
+            body.extend(_subst_item(item, var, replacement)
+                        for item in loop.body)
+        return [ForLoop(var, loop.bound // factor, body)]
+
+    return _rewrite_loop(kernel, var, rewrite)
+
+
+def unroll_and_jam(kernel: Kernel, var: str, factor: int) -> Kernel:
+    """Unroll loop ``var`` and fuse the replicated bodies element-wise:
+    replicated inner loops merge back into one loop (whose body is the
+    jam of the replica bodies), replicated statements concatenate."""
+    if factor < 1:
+        raise TransformError(
+            f"unroll-and-jam factor must be >= 1, got {factor}")
+    if factor == 1:
+        return clone_kernel(kernel)
+
+    def jam(replicas: list[list]) -> list:
+        jammed: list = []
+        for position in range(len(replicas[0])):
+            items = [replica[position] for replica in replicas]
+            first = items[0]
+            if isinstance(first, ForLoop):
+                if any(not isinstance(item, ForLoop)
+                       or item.var != first.var
+                       or item.bound != first.bound for item in items):
+                    raise TransformError(
+                        f"cannot jam loop '{var}': replicated bodies "
+                        "diverge")
+                jammed.append(ForLoop(first.var, first.bound,
+                                      jam([item.body for item in items])))
+            else:
+                jammed.extend(items)
+        return jammed
+
+    def rewrite(loop: ForLoop) -> list:
+        if loop.bound % factor != 0:
+            raise TransformError(
+                f"unroll-and-jam factor {factor} does not divide loop "
+                f"'{var}' trip count {loop.bound}")
+        replicas = [
+            [_subst_item(item, var, _replica_expr(var, factor, replica))
+             for item in loop.body]
+            for replica in range(factor)
+        ]
+        return [ForLoop(var, loop.bound // factor, jam(replicas))]
+
+    return _rewrite_loop(kernel, var, rewrite)
+
+
+def tile(kernel: Kernel, var: str, size: int) -> Kernel:
+    """Strip-mine loop ``var`` into ``{var}o`` (tile index) immediately
+    enclosing ``{var}i`` (intra-tile index).
+
+    Pure strip-mining preserves the exact iteration order, so it is
+    semantics-preserving for every kernel, including order-sensitive
+    in-place stencils.
+    """
+    if size < 1:
+        raise TransformError(f"tile size must be >= 1, got {size}")
+    if size == 1:
+        return clone_kernel(kernel)
+    outer_var, inner_var = f"{var}o", f"{var}i"
+    used = _all_names(kernel)
+    for fresh in (outer_var, inner_var):
+        if fresh in used:
+            raise TransformError(
+                f"tiling loop '{var}' would shadow existing name '{fresh}'")
+
+    def rewrite(loop: ForLoop) -> list:
+        if loop.bound % size != 0:
+            raise TransformError(
+                f"tile size {size} does not divide loop '{var}' "
+                f"trip count {loop.bound}")
+        replacement = BinOp("+", BinOp("*", IntLit(size), VarRef(outer_var)),
+                            VarRef(inner_var))
+        body = [_subst_item(item, var, replacement) for item in loop.body]
+        return [ForLoop(outer_var, loop.bound // size,
+                        [ForLoop(inner_var, size, body)])]
+
+    return _rewrite_loop(kernel, var, rewrite)
+
+
+def interchange(kernel: Kernel, outer_var: str, inner_var: str) -> Kernel:
+    """Swap an adjacent, perfectly nested loop pair."""
+
+    def rewrite(loop: ForLoop) -> list:
+        if (len(loop.body) != 1 or not isinstance(loop.body[0], ForLoop)
+                or loop.body[0].var != inner_var):
+            raise TransformError(
+                f"loops '{outer_var}' and '{inner_var}' are not an "
+                "adjacent perfectly nested pair")
+        inner = loop.body[0]
+        return [ForLoop(inner.var, inner.bound,
+                        [ForLoop(loop.var, loop.bound, list(inner.body))])]
+
+    return _rewrite_loop(kernel, outer_var, rewrite)
+
+
+# ----------------------------------------------------------------------
+# Recipes
+# ----------------------------------------------------------------------
+
+def _spine(kernel: Kernel) -> list[ForLoop]:
+    if len(kernel.loops) != 1:
+        raise TransformError(
+            "recipes require a kernel with a single outermost loop")
+    return nest_chain(kernel)
+
+
+def _spine_loop(kernel: Kernel, depth: int, what: str) -> ForLoop:
+    chain = _spine(kernel)
+    if not 0 <= depth < len(chain):
+        raise TransformError(
+            f"{what} depth {depth} out of range for a "
+            f"{len(chain)}-deep nest")
+    return chain[depth]
+
+
+@dataclass(frozen=True)
+class UnrollStep:
+    """``u{factor}`` — unroll the innermost loop."""
+
+    factor: int
+
+    @property
+    def spec(self) -> str:
+        return f"u{self.factor}"
+
+    def apply(self, kernel: Kernel) -> Kernel:
+        return unroll(kernel, _spine(kernel)[-1].var, self.factor)
+
+
+@dataclass(frozen=True)
+class UnrollJamStep:
+    """``uj{factor}`` / ``uj{depth}x{factor}`` — unroll-and-jam."""
+
+    factor: int
+    depth: int = 0
+
+    @property
+    def spec(self) -> str:
+        if self.depth == 0:
+            return f"uj{self.factor}"
+        return f"uj{self.depth}x{self.factor}"
+
+    def apply(self, kernel: Kernel) -> Kernel:
+        loop = _spine_loop(kernel, self.depth, "unroll-and-jam")
+        return unroll_and_jam(kernel, loop.var, self.factor)
+
+
+@dataclass(frozen=True)
+class TileStep:
+    """``t{s0}x{s1}...`` — strip-mine the leading spine loops."""
+
+    sizes: tuple[int, ...]
+
+    @property
+    def spec(self) -> str:
+        return "t" + "x".join(str(size) for size in self.sizes)
+
+    def apply(self, kernel: Kernel) -> Kernel:
+        chain = _spine(kernel)
+        if len(self.sizes) > len(chain):
+            raise TransformError(
+                f"tile step '{self.spec}' names {len(self.sizes)} loops "
+                f"but the nest is only {len(chain)}-deep")
+        # Resolve variables before tiling: each tile renames only its own
+        # loop, so the remaining names stay valid.
+        targets = [(chain[depth].var, size)
+                   for depth, size in enumerate(self.sizes)]
+        result = clone_kernel(kernel)
+        for var, size in targets:
+            if size > 1:
+                result = tile(result, var, size)
+        return result
+
+
+@dataclass(frozen=True)
+class InterchangeStep:
+    """``ic{depth}`` — interchange spine loops at depth and depth+1."""
+
+    depth: int
+
+    @property
+    def spec(self) -> str:
+        return f"ic{self.depth}"
+
+    def apply(self, kernel: Kernel) -> Kernel:
+        outer = _spine_loop(kernel, self.depth, "interchange")
+        inner = _spine_loop(kernel, self.depth + 1, "interchange")
+        return interchange(kernel, outer.var, inner.var)
+
+
+@dataclass(frozen=True)
+class Recipe:
+    """An ordered composition of transform steps."""
+
+    steps: tuple[object, ...] = ()
+
+    @property
+    def spec(self) -> str:
+        """Canonical spec string; round-trips through
+        :func:`parse_recipe`."""
+        return "_".join(step.spec for step in self.steps)
+
+    def apply(self, kernel: Kernel) -> Kernel:
+        result = clone_kernel(kernel)
+        for step in self.steps:
+            result = step.apply(result)
+        return result
+
+
+_UJ_RE = re.compile(r"uj(?:(\d+)x)?(\d+)")
+_U_RE = re.compile(r"u(\d+)")
+_TILE_RE = re.compile(r"t(\d+(?:x\d+)*)")
+_IC_RE = re.compile(r"ic(\d+)")
+
+_GRAMMAR_HINT = ("expected steps 'u<f>', 'uj[<d>x]<f>', 't<s0>[x<s1>...]'"
+                 " or 'ic<d>' joined by '_'")
+
+
+def parse_recipe(spec: str) -> Recipe:
+    """Parse a recipe spec string like ``"t4x4_u2"``.
+
+    Raises :class:`TransformError` on malformed specs.  The parsed
+    recipe's ``spec`` property reproduces the canonical spelling.
+    """
+    if not spec:
+        raise TransformError(f"empty recipe spec ({_GRAMMAR_HINT})")
+    steps: list[object] = []
+    for token in spec.split("_"):
+        if match := _UJ_RE.fullmatch(token):
+            step: object = UnrollJamStep(factor=int(match.group(2)),
+                                         depth=int(match.group(1) or 0))
+            if step.factor < 1:
+                raise TransformError(
+                    f"recipe step '{token}': factor must be >= 1")
+        elif match := _IC_RE.fullmatch(token):
+            step = InterchangeStep(depth=int(match.group(1)))
+        elif match := _U_RE.fullmatch(token):
+            step = UnrollStep(factor=int(match.group(1)))
+            if step.factor < 1:
+                raise TransformError(
+                    f"recipe step '{token}': factor must be >= 1")
+        elif match := _TILE_RE.fullmatch(token):
+            sizes = tuple(int(size) for size in match.group(1).split("x"))
+            if any(size < 1 for size in sizes):
+                raise TransformError(
+                    f"recipe step '{token}': tile sizes must be >= 1")
+            step = TileStep(sizes=sizes)
+        else:
+            raise TransformError(
+                f"malformed recipe step '{token}' in '{spec}' "
+                f"({_GRAMMAR_HINT})")
+        steps.append(step)
+    return Recipe(tuple(steps))
+
+
+def as_recipe(recipe: "Recipe | str") -> Recipe:
+    """Coerce a spec string (or pass through a Recipe)."""
+    if isinstance(recipe, Recipe):
+        return recipe
+    if isinstance(recipe, str):
+        return parse_recipe(recipe)
+    raise TransformError(f"cannot interpret {recipe!r} as a recipe")

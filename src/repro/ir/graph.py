@@ -268,6 +268,30 @@ class DFG:
             if node.op is Opcode.STORE and node.access is not None
         }
 
+    def structural_state(self) -> tuple:
+        """A hashable snapshot of everything that defines this DFG:
+        iteration space, nodes in id order (op, name, const, access,
+        annotations), and edges in insertion order.
+
+        Two compilations are bit-identical exactly when their states are
+        equal — the basis of the variant layer's lowering invariant.
+        """
+        nodes = tuple(
+            (node.node_id, node.op, node.name, node.const, node.access,
+             tuple(sorted(node.annotations.items())))
+            for node in self.nodes
+        )
+        edges = tuple(
+            (edge.src, edge.dst, edge.operand_index, edge.distance)
+            for edge in self._edges
+        )
+        return (self.loop_dims, self.trip_counts, nodes, edges)
+
+    def structurally_equal(self, other: "DFG") -> bool:
+        """True when ``other`` has the identical node/edge structure
+        (names of the DFGs themselves are ignored)."""
+        return self.structural_state() == other.structural_state()
+
     def subgraph_edges(self, node_ids: Iterable[int]) -> list[DFGEdge]:
         """Edges with both endpoints inside ``node_ids`` (any distance)."""
         members = set(node_ids)

@@ -11,13 +11,22 @@ Kernels are written in the annotated-C subset (no division: fixed-point
 shifts, as the paper's 16-bit integer ALUs require) and compiled through
 the frontend.  :mod:`repro.workloads.dnn` composes three DNN applications
 (10/13/16 layers) from the ML kernels for the application-level study.
+
+Each kernel additionally expands into a family of interpreter-verified,
+loop-transformed variants (:func:`variants_of`, :data:`FAMILY_RECIPES`)
+named after their transform recipe, e.g. ``gemm_t4x4_u2`` — see
+:mod:`repro.workloads.registry` and :mod:`repro.frontend.transforms`.
 """
 
 from repro.workloads.registry import (
+    FAMILY_RECIPES,
     WorkloadSpec,
     all_workloads,
+    expand_families,
+    family_kernels,
     get_dfg,
     get_workload,
+    variants_of,
     workloads_by_domain,
 )
 from repro.workloads.dnn import DNN_APPS, DnnApp, DnnLayer
@@ -26,9 +35,13 @@ __all__ = [
     "DNN_APPS",
     "DnnApp",
     "DnnLayer",
+    "FAMILY_RECIPES",
     "WorkloadSpec",
     "all_workloads",
+    "expand_families",
+    "family_kernels",
     "get_dfg",
     "get_workload",
+    "variants_of",
     "workloads_by_domain",
 ]

@@ -1,8 +1,20 @@
-"""Workload registry: the 30 evaluated DFGs and their Table 2 rows.
+"""Workload registry: base specs, Table 2 rows, and variant families.
 
 ``paper_row`` records the characteristics the paper's Table 2 lists for
 each DFG (total nodes, compute nodes, motif-covered compute nodes) so the
 Table 2 benchmark can print paper-vs-ours side by side.
+
+Beyond the 30 fixed Table-2 specs, every kernel expands into a *family*
+of loop-transformed variants (:data:`FAMILY_RECIPES`): semantically
+equivalent reshapings of the same kernel — tiling, interchange, deeper
+unrolling, unroll-and-jam — named ``<kernel>_<recipe>`` after the
+transform recipe grammar of :mod:`repro.frontend.transforms` (e.g.
+``gemm_t4x4_u2``).  :func:`get_workload` resolves any canonical variant
+name on the fly, and :func:`get_dfg` verifies every variant against its
+base kernel with the IR interpreter on a deterministic memory image
+before handing the DFG out — an illegal recipe (one that reorders a
+loop-carried dependence) raises :class:`~repro.errors.WorkloadError`
+instead of silently producing wrong results.
 """
 
 from __future__ import annotations
@@ -10,8 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from functools import lru_cache
 
-from repro.errors import WorkloadError
-from repro.frontend import compile_kernel
+from repro.errors import TransformError, WorkloadError
+from repro.frontend import compile_kernel, parse_recipe
 from repro.ir.graph import DFG
 from repro.workloads import image, linear_algebra, ml
 
@@ -20,17 +32,23 @@ from repro.workloads import image, linear_algebra, ml
 class WorkloadSpec:
     """One evaluated DFG."""
 
-    name: str             # e.g. "atax_u2"
+    name: str             # e.g. "atax_u2" or "gemm_t4x4_u2"
     kernel: str           # base kernel name
     domain: str           # 'linear-algebra' | 'ml' | 'image'
     source: str           # annotated-C text
     shapes: tuple[tuple[str, tuple[int, ...]], ...]
     unroll: int
+    recipe: str = ""      # canonical transform recipe ("" = plain spec)
     paper_row: tuple[int, int, int] | None = None
 
     @property
     def shape_dict(self) -> dict[str, tuple[int, ...]]:
         return dict(self.shapes)
+
+    @property
+    def is_variant(self) -> bool:
+        """True for recipe-generated variants (not in Table 2)."""
+        return bool(self.recipe)
 
 
 def _spec(name, kernel, domain, source, shapes, unroll, paper_row=None):
@@ -113,9 +131,38 @@ _SPECS: tuple[WorkloadSpec, ...] = (
 
 _BY_NAME = {spec.name: spec for spec in _SPECS}
 
+#: Curated transform recipes per kernel.  Each generates the variant
+#: ``<kernel>_<recipe>``; all are interpreter-verified against the base
+#: kernel in :func:`get_dfg`.  Legality notes: interchange (``ic``) is
+#: listed only for kernels whose loop order is free (accumulators and
+#: out-of-place stencils); the order-sensitive in-place seidel sweep gets
+#: only order-preserving strip-mining and innermost unrolling; doitgen
+#: gets no unroll-and-jam (jamming would reorder its same-iteration
+#: ``w[s]`` store/load pair — the verification gate rejects it).
+FAMILY_RECIPES: dict[str, tuple[str, ...]] = {
+    "atax":        ("u8", "ic0", "ic0_u4"),
+    "bicg":        ("u8", "ic0", "ic0_u4"),
+    "doitgen":     ("u8", "ic0", "ic0_u4"),
+    "gemm":        ("u8", "t4x4_u2", "ic1", "uj2"),
+    "gemver":      ("u8", "ic0", "ic0_u2"),
+    "gesummv":     ("u8", "ic0", "ic0_u4"),
+    "conv2x2":     ("u2", "u7", "ic0"),
+    "conv3x3":     ("u2", "u4", "ic0"),
+    "dwconv":      ("u3", "ic0", "ic0_u2"),
+    "fc":          ("u8", "ic0", "ic0_u2"),
+    "cholesky":    ("u8", "ic0"),
+    "durbin":      ("u8", "ic0"),
+    "fdtd":        ("u8", "ic0", "t2x4"),
+    "gramschmidt": ("u8", "ic0"),
+    "jacobi":      ("u8", "ic0", "t2x4"),
+    "seidel":      ("u4", "t2x4"),
+}
+
+_KERNELS = tuple(dict.fromkeys(spec.kernel for spec in _SPECS))
+
 
 def all_workloads() -> list[WorkloadSpec]:
-    """Every evaluated workload, Table 2 order."""
+    """Every evaluated workload, Table 2 order (variants excluded)."""
     return list(_SPECS)
 
 
@@ -127,16 +174,152 @@ def workloads_by_domain(domain: str) -> list[WorkloadSpec]:
     return found
 
 
-def get_workload(name: str) -> WorkloadSpec:
+def family_kernels() -> list[str]:
+    """Base kernel names in Table 2 order (one per family)."""
+    return list(_KERNELS)
+
+
+def _family_base(kernel: str) -> WorkloadSpec:
+    for spec in _SPECS:
+        if spec.kernel == kernel:
+            return spec
+    raise WorkloadError(f"unknown kernel '{kernel}'")
+
+
+@lru_cache(maxsize=None)
+def _variant_spec(kernel: str, recipe_spec: str) -> WorkloadSpec:
+    """The variant spec ``<kernel>_<recipe_spec>`` (registered specs win)."""
+    base = _family_base(kernel)
     try:
+        canonical = parse_recipe(recipe_spec).spec
+    except TransformError as exc:
+        raise WorkloadError(
+            f"bad variant recipe '{recipe_spec}' for kernel "
+            f"'{kernel}': {exc}") from None
+    if canonical != recipe_spec:
+        raise WorkloadError(
+            f"variant recipe '{recipe_spec}' is not canonical "
+            f"(use '{canonical}')")
+    name = f"{kernel}_{canonical}"
+    if name in _BY_NAME:
         return _BY_NAME[name]
-    except KeyError:
-        raise WorkloadError(f"unknown workload '{name}'") from None
+    return WorkloadSpec(
+        name=name, kernel=kernel, domain=base.domain, source=base.source,
+        shapes=base.shapes, unroll=1, recipe=canonical,
+    )
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    """Resolve a registered workload or a canonical variant name."""
+    spec = _BY_NAME.get(name)
+    if spec is not None:
+        return spec
+    for kernel in _KERNELS:
+        if name.startswith(kernel + "_"):
+            return _variant_spec(kernel, name[len(kernel) + 1:])
+    raise WorkloadError(f"unknown workload '{name}'")
+
+
+def variants_of(name: str) -> list[WorkloadSpec]:
+    """The variant family of a workload (or bare kernel) name.
+
+    Deterministic order: the registered Table-2 members of the kernel
+    first, then the curated :data:`FAMILY_RECIPES` variants.  Accepts a
+    member name (``gemm_u2``), a kernel name (``gemm``), or a variant
+    name (the queried variant is appended if it is not curated).
+    """
+    if name in _KERNELS:
+        kernel = name
+        queried: WorkloadSpec | None = None
+    else:
+        queried = get_workload(name)
+        kernel = queried.kernel
+    members = [spec for spec in _SPECS if spec.kernel == kernel]
+    for recipe_spec in FAMILY_RECIPES.get(kernel, ()):
+        variant = _variant_spec(kernel, recipe_spec)
+        if variant not in members:
+            members.append(variant)
+    if queried is not None and queried not in members:
+        members.append(queried)
+    return members
+
+
+def expand_families(names: "list[str] | None" = None) -> list[str]:
+    """Expand workload names into their full families (deduplicated,
+    first-seen order).  ``None`` expands every Table-2 workload.  Unknown
+    names are kept verbatim so sweeps surface them as per-cell failures.
+    """
+    if names is None:
+        names = [spec.name for spec in _SPECS]
+    expanded: list[str] = []
+    seen: set[str] = set()
+    for name in names:
+        try:
+            members = [spec.name for spec in variants_of(name)]
+        except WorkloadError:
+            members = [name]
+        for member in members:
+            if member not in seen:
+                seen.add(member)
+                expanded.append(member)
+    return expanded
+
+
+#: Fill constant for the deterministic verification memory image.
+_VERIFY_FILL = 3
+
+
+@lru_cache(maxsize=None)
+def _base_dfg(kernel: str) -> DFG:
+    """The family's reference DFG: the kernel at unroll 1, no recipe."""
+    base = _family_base(kernel)
+    return compile_kernel(base.source, name=kernel,
+                          array_shapes=base.shape_dict, unroll=1)
+
+
+def _verify_variant(spec: WorkloadSpec, dfg: DFG) -> None:
+    """Interpreter-check a variant DFG against its base kernel.
+
+    Both graphs run over copies of the same deterministically filled
+    memory image; every array either writes must match element-wise.
+    """
+    from repro.ir.interpreter import DFGInterpreter
+
+    base = _base_dfg(spec.kernel)
+    base_interp = DFGInterpreter(base)
+    variant_interp = DFGInterpreter(dfg)
+    template = base_interp.prepare_memory(fill=_VERIFY_FILL)
+    template = variant_interp.prepare_memory(template, fill=_VERIFY_FILL)
+    base_memory = template.copy()
+    variant_memory = template.copy()
+    base_interp.run(base_memory)
+    variant_interp.run(variant_memory)
+    for array in sorted(base.arrays_written() | dfg.arrays_written()):
+        if base_memory.array(array) != variant_memory.array(array):
+            raise WorkloadError(
+                f"variant '{spec.name}' (recipe '{spec.recipe}') is not "
+                f"semantically equivalent to base kernel '{spec.kernel}': "
+                f"array '{array}' differs after execution — the recipe "
+                "reorders a loop-carried dependence")
 
 
 @lru_cache(maxsize=None)
 def get_dfg(name: str) -> DFG:
-    """Compile a workload's kernel to its DFG (cached)."""
+    """Compile a workload's kernel to its DFG (cached).
+
+    Recipe variants are verified against their base kernel by the IR
+    interpreter before being returned.
+    """
     spec = get_workload(name)
-    return compile_kernel(spec.source, name=spec.name,
-                          array_shapes=spec.shape_dict, unroll=spec.unroll)
+    dfg = compile_kernel(spec.source, name=spec.name,
+                         array_shapes=spec.shape_dict, unroll=spec.unroll,
+                         recipe=spec.recipe or None)
+    if spec.recipe:
+        _verify_variant(spec, dfg)
+    return dfg
+
+
+def clear_dfg_caches() -> None:
+    """Drop compiled-DFG caches (wired into ``harness.clear_caches``)."""
+    get_dfg.cache_clear()
+    _base_dfg.cache_clear()

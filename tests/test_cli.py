@@ -220,3 +220,64 @@ def test_shape_parsing(tmp_path, capsys):
     """)
     assert main(["compile", "--file", str(kernel),
                  "--shape", "A=4x4", "--shape", "B=4x4"]) == 0
+
+
+@pytest.mark.parametrize("bad", ["A=8x", "A8x8", "A=", "=8x8", "A=0x8"])
+def test_malformed_shape_exits_with_usage_hint(tmp_path, capsys, bad):
+    kernel = tmp_path / "m.c"
+    kernel.write_text("""
+    for (i = 0; i < 4; i++) {
+      y[i] = x[i] + 1;
+    }
+    """)
+    assert main(["compile", "--file", str(kernel), "--shape", bad]) == 2
+    err = capsys.readouterr().err
+    assert "malformed --shape" in err
+    assert "A=16x16" in err            # the usage hint names a valid spec
+
+
+def test_workloads_variants_listing(capsys):
+    assert main(["workloads", "--variants"]) == 0
+    out = capsys.readouterr().out
+    assert "Workload families" in out
+    assert "gemm_t4x4_u2" in out and "atax_u8" in out
+
+
+def test_map_accepts_variant_name(capsys):
+    assert main(["map", "--workload", "gemm_t4x4_u2", "--arch",
+                 "plaid"]) == 0
+    out = capsys.readouterr().out
+    assert "gemm_t4x4_u2" in out and "II=" in out
+
+
+def test_map_rejects_illegal_variant(capsys):
+    assert main(["map", "--workload", "seidel_ic0", "--arch", "plaid"]) == 2
+    assert "not semantically equivalent" in capsys.readouterr().err
+
+
+def test_sweep_variants_reports_best_per_family(tmp_path, capsys):
+    from repro.eval.harness import clear_caches
+
+    clear_caches()
+    assert main(["sweep", "--workloads", "dwconv", "--variants",
+                 "--arch", "st", "--no-cache", "--jobs", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "Best variant per (family, arch)" in out
+    assert "dwconv_u3" in out          # curated variant appears in the grid
+    clear_caches()
+
+
+def test_sweep_variants_json_has_best_variants(tmp_path, capsys):
+    from repro.eval.harness import clear_caches
+
+    clear_caches()
+    assert main(["sweep", "--workloads", "conv2x2", "--variants",
+                 "--arch", "plaid", "--no-cache", "--jobs", "2",
+                 "--format", "json"]) == 0
+    import json
+    record = json.loads(capsys.readouterr().out)
+    assert record["summary"]["failed"] == 0
+    rows = record["best_variants"]
+    assert rows and all(row["family"] == "conv2x2" for row in rows)
+    assert all(row["speedup"] >= 1.0 for row in rows)
+    clear_caches()

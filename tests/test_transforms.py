@@ -1,0 +1,387 @@
+"""The kernel-variant layer: AST loop transforms, recipes, and families.
+
+Three layers under test:
+
+* :mod:`repro.frontend.transforms` — the pure ``Kernel -> Kernel`` rewrite
+  passes (unroll, tile, interchange, unroll-and-jam) and the recipe
+  grammar, including every documented error path;
+* the bit-identical-lowering invariant — ``#pragma``/``unroll=`` specs
+  must produce *structurally identical* DFGs whether unrolling runs as
+  the legacy lowering knob or as a pre-lowering AST pass;
+* :mod:`repro.workloads.registry` families — on-the-fly variant
+  resolution, canonical-name enforcement, and the interpreter
+  verification gate that rejects dependence-breaking recipes.
+
+The hypothesis property at the bottom hammers the strongest claim:
+every curated recipe preserves interpreter semantics on *random* memory
+images, not just the deterministic verification fill.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.errors import FrontendError, TransformError, WorkloadError
+from repro.frontend import (
+    compile_kernel, parse_kernel, parse_recipe, as_recipe, Recipe,
+    structurally_equal, transforms,
+)
+from repro.frontend.cast import loop_vars, nest_chain
+from repro.ir.interpreter import DFGInterpreter, MemoryImage
+from repro.workloads import registry
+
+GEMV = """
+#pragma plaid
+for (i = 0; i < 4; i++) {
+  for (j = 0; j < 4; j++) {
+    y[i] += A[i][j] * x[j];
+  }
+}
+"""
+SHAPES = {"A": (4, 4)}
+
+GEMM = """
+for (i = 0; i < 4; i++) {
+  for (j = 0; j < 4; j++) {
+    for (k = 0; k < 4; k++) {
+      C[i][j] += A[i][k] * B[k][j];
+    }
+  }
+}
+"""
+GEMM_SHAPES = {"A": (4, 4), "B": (4, 4), "C": (4, 4)}
+
+
+def _outputs(source, shapes, *, recipe=None, unroll=1, fill=11):
+    """Compile, interpret on a pattern-filled image, return written arrays."""
+    dfg = compile_kernel(source, name="t", array_shapes=shapes,
+                         unroll=unroll, recipe=recipe)
+    interp = DFGInterpreter(dfg)
+    memory = interp.prepare_memory(fill=fill)
+    interp.run(memory)
+    return {name: memory.array(name) for name in dfg.arrays_written()}
+
+
+# ---------------------------------------------------------------------------
+# Transform passes: semantics and purity
+# ---------------------------------------------------------------------------
+
+class TestUnroll:
+    def test_semantics_preserved(self):
+        assert _outputs(GEMV, SHAPES) == _outputs(GEMV, SHAPES, recipe="u2")
+
+    def test_trip_count_divided(self):
+        kernel = transforms.unroll(parse_kernel(GEMV), "j", 2)
+        chain = nest_chain(kernel)
+        assert [(l.var, l.bound) for l in chain] == [("i", 4), ("j", 2)]
+        # Replica-major: the body holds factor copies of the statement.
+        assert len(chain[-1].body) == 2
+
+    def test_non_dividing_factor_rejected(self):
+        with pytest.raises(TransformError, match="does not divide"):
+            transforms.unroll(parse_kernel(GEMV), "j", 3)
+
+    def test_unknown_loop_rejected(self):
+        with pytest.raises(TransformError):
+            transforms.unroll(parse_kernel(GEMV), "z", 2)
+
+    def test_factor_below_one_rejected(self):
+        with pytest.raises(TransformError, match=">= 1"):
+            transforms.unroll(parse_kernel(GEMV), "j", 0)
+
+    def test_input_kernel_untouched(self):
+        kernel = parse_kernel(GEMV)
+        before = parse_kernel(GEMV)
+        transforms.unroll(kernel, "j", 2)
+        assert structurally_equal(kernel, before)
+
+    def test_outer_unroll_makes_imperfect_nest(self):
+        # Unrolling a non-innermost loop duplicates the inner loop as
+        # siblings; lowering rejects that shape (use unroll_and_jam).
+        kernel = transforms.unroll(parse_kernel(GEMV), "i", 2)
+        inner = nest_chain(kernel)
+        assert len(inner[-1].body) == 2   # two sibling 'j' loops
+
+
+class TestTile:
+    def test_semantics_preserved(self):
+        assert _outputs(GEMM, GEMM_SHAPES) == \
+            _outputs(GEMM, GEMM_SHAPES, recipe="t2x2")
+
+    def test_strip_mine_shape(self):
+        kernel = transforms.tile(parse_kernel(GEMV), "j", 2)
+        assert [(l.var, l.bound) for l in nest_chain(kernel)] == \
+            [("i", 4), ("jo", 2), ("ji", 2)]
+
+    def test_non_dividing_size_rejected(self):
+        with pytest.raises(TransformError, match="does not divide"):
+            transforms.tile(parse_kernel(GEMV), "j", 3)
+
+    def test_name_collision_rejected(self):
+        clashing = """
+        for (jo = 0; jo < 4; jo++) {
+          for (j = 0; j < 4; j++) {
+            y[jo] += A[jo][j] * x[j];
+          }
+        }
+        """
+        with pytest.raises(TransformError, match="shadow"):
+            transforms.tile(parse_kernel(clashing), "j", 2)
+
+    def test_size_one_is_identity(self):
+        kernel = parse_kernel(GEMV)
+        assert structurally_equal(transforms.tile(kernel, "j", 1), kernel)
+
+
+class TestInterchange:
+    def test_semantics_preserved(self):
+        assert _outputs(GEMM, GEMM_SHAPES) == \
+            _outputs(GEMM, GEMM_SHAPES, recipe="ic1")
+
+    def test_loop_order_swapped(self):
+        kernel = transforms.interchange(parse_kernel(GEMV), "i", "j")
+        assert loop_vars(kernel) == ["j", "i"]
+
+    def test_non_adjacent_pair_rejected(self):
+        with pytest.raises(TransformError, match="adjacent"):
+            transforms.interchange(parse_kernel(GEMM), "i", "k")
+
+    def test_unknown_loop_rejected(self):
+        with pytest.raises(TransformError):
+            transforms.interchange(parse_kernel(GEMV), "q", "j")
+
+
+class TestUnrollAndJam:
+    def test_semantics_preserved(self):
+        assert _outputs(GEMM, GEMM_SHAPES) == \
+            _outputs(GEMM, GEMM_SHAPES, recipe="uj2")
+
+    def test_nest_stays_perfect(self):
+        kernel = transforms.unroll_and_jam(parse_kernel(GEMM), "i", 2)
+        chain = nest_chain(kernel)
+        assert [(l.var, l.bound) for l in chain] == \
+            [("i", 2), ("j", 4), ("k", 4)]
+        assert len(chain[-1].body) == 2   # jammed replica statements
+
+    def test_non_dividing_factor_rejected(self):
+        with pytest.raises(TransformError, match="does not divide"):
+            transforms.unroll_and_jam(parse_kernel(GEMM), "i", 3)
+
+
+class TestStructuralEquality:
+    def test_alpha_renaming_ignored(self):
+        renamed = """
+        #pragma plaid
+        for (p = 0; p < 4; p++) {
+          for (q = 0; q < 4; q++) {
+            y[p] += A[p][q] * x[q];
+          }
+        }
+        """
+        assert structurally_equal(parse_kernel(GEMV), parse_kernel(renamed))
+
+    def test_bound_difference_detected(self):
+        other = GEMV.replace("j < 4", "j < 8")
+        assert not structurally_equal(parse_kernel(GEMV),
+                                      parse_kernel(other))
+
+    def test_operator_difference_detected(self):
+        other = GEMV.replace("A[i][j] * x[j]", "A[i][j] + x[j]")
+        assert not structurally_equal(parse_kernel(GEMV),
+                                      parse_kernel(other))
+
+
+# ---------------------------------------------------------------------------
+# Recipe grammar
+# ---------------------------------------------------------------------------
+
+class TestRecipeGrammar:
+    def test_roundtrip_canonical(self):
+        for spec in ("u2", "t4x4_u2", "ic0", "uj2", "uj1x2", "ic0_u4"):
+            assert parse_recipe(spec).spec == spec
+
+    def test_default_jam_depth_canonicalizes(self):
+        assert parse_recipe("uj0x2").spec == "uj2"
+
+    @pytest.mark.parametrize("bad", ["", "u0", "t0", "u2__u4", "xyz",
+                                     "t", "ic", "u2 t4", "u-2"])
+    def test_malformed_specs_rejected(self, bad):
+        with pytest.raises(TransformError):
+            parse_recipe(bad)
+
+    def test_error_carries_grammar_hint(self):
+        with pytest.raises(TransformError, match="expected steps"):
+            parse_recipe("zzz9")
+
+    def test_as_recipe_passthrough(self):
+        recipe = parse_recipe("u2")
+        assert as_recipe(recipe) is recipe
+        assert isinstance(as_recipe("u2"), Recipe)
+
+    def test_depth_out_of_range_rejected(self):
+        with pytest.raises(TransformError, match="out of range"):
+            parse_recipe("ic5").apply(parse_kernel(GEMV))
+
+
+# ---------------------------------------------------------------------------
+# Frontend error paths the variant layer leans on
+# ---------------------------------------------------------------------------
+
+class TestFrontendErrorPaths:
+    def test_pragma_unroll_zero_rejected(self):
+        with pytest.raises(FrontendError, match=">= 1"):
+            parse_kernel("#pragma plaid unroll(0)\n" + GEMM)
+
+    def test_pragma_missing_paren_rejected(self):
+        src = "#pragma plaid unroll 2\n" + GEMM
+        with pytest.raises(FrontendError, match="expected"):
+            parse_kernel(src)
+
+    def test_unknown_pragma_rejected(self):
+        with pytest.raises(FrontendError, match="plaid"):
+            parse_kernel("#pragma omp parallel\n" + GEMM)
+
+    def test_immediate_out_of_range_rejected(self):
+        src = GEMV.replace("A[i][j] * x[j]", "A[i][j] * 300")
+        with pytest.raises(FrontendError, match="8-bit"):
+            compile_kernel(src, array_shapes=SHAPES)
+
+    def test_imperfect_nest_from_outer_unroll_rejected(self):
+        from repro.frontend.lower import _Lowering
+
+        kernel = transforms.unroll(parse_kernel(GEMV), "i", 2)
+        with pytest.raises(FrontendError, match="perfect"):
+            _Lowering(kernel, SHAPES).lower()
+
+
+# ---------------------------------------------------------------------------
+# Bit-identical lowering: the legacy unroll knob == the AST unroll pass
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("name", ["atax_u4", "gemm_u4", "conv3x3_u2",
+                                  "dwconv_u5", "seidel_u1", "durbin_u2"])
+def test_pragma_unroll_lowers_bit_identically(name):
+    spec = registry.get_workload(name)
+    via_knob = compile_kernel(spec.source, name="knob",
+                              array_shapes=spec.shape_dict,
+                              unroll=spec.unroll)
+    via_recipe = compile_kernel(spec.source, name="recipe",
+                                array_shapes=spec.shape_dict, unroll=1,
+                                recipe=f"u{spec.unroll}")
+    assert via_knob.structurally_equal(via_recipe)
+
+
+def test_structural_equality_detects_real_difference():
+    spec = registry.get_workload("gemm_u2")
+    base = compile_kernel(spec.source, array_shapes=spec.shape_dict,
+                          unroll=1)
+    unrolled = compile_kernel(spec.source, array_shapes=spec.shape_dict,
+                              unroll=2)
+    assert not base.structurally_equal(unrolled)
+
+
+# ---------------------------------------------------------------------------
+# Registry families
+# ---------------------------------------------------------------------------
+
+class TestFamilies:
+    def test_every_kernel_has_a_family(self):
+        assert set(registry.family_kernels()) == set(registry.FAMILY_RECIPES)
+
+    def test_variants_of_lists_members_then_variants(self):
+        names = [spec.name for spec in registry.variants_of("gemm")]
+        assert names[:2] == ["gemm_u2", "gemm_u4"]
+        assert "gemm_t4x4_u2" in names and "gemm_uj2" in names
+
+    def test_variants_of_accepts_member_and_variant_names(self):
+        base = [s.name for s in registry.variants_of("atax")]
+        assert [s.name for s in registry.variants_of("atax_u2")] == base
+        assert [s.name for s in registry.variants_of("atax_u8")] == base
+
+    def test_ad_hoc_variant_resolution(self):
+        spec = registry.get_workload("gemm_t4x4_u2")
+        assert spec.kernel == "gemm" and spec.recipe == "t4x4_u2"
+        assert spec.unroll == 1 and spec.is_variant
+
+    def test_uncurated_canonical_recipe_resolves(self):
+        spec = registry.get_workload("gemm_t2x2")
+        assert spec.recipe == "t2x2" and spec.is_variant
+
+    def test_non_canonical_name_rejected_with_hint(self):
+        with pytest.raises(WorkloadError, match="uj2"):
+            registry.get_workload("gemm_uj0x2")
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(WorkloadError):
+            registry.get_workload("nosuchkernel_u2")
+
+    def test_expand_families_dedups_and_keeps_unknown(self):
+        expanded = registry.expand_families(["gemm", "gemm_u2", "mystery"])
+        assert expanded.count("gemm_u2") == 1
+        assert "mystery" in expanded
+        assert "gemm_t4x4_u2" in expanded
+
+    def test_registered_members_not_revalidated_as_variants(self):
+        spec = registry.get_workload("dwconv_u5")
+        assert not spec.is_variant and spec.unroll == 5
+
+
+class TestVerificationGate:
+    def test_legal_variant_passes(self):
+        dfg = registry.get_dfg("gemm_uj2")
+        assert dfg.name == "gemm_uj2"
+
+    @pytest.mark.parametrize("name", ["doitgen_uj4", "seidel_ic0"])
+    def test_dependence_breaking_recipe_rejected(self, name):
+        with pytest.raises(WorkloadError,
+                           match="not semantically equivalent"):
+            registry.get_dfg(name)
+
+    def test_clear_caches_drops_variant_dfgs(self):
+        from repro.eval import harness
+        first = registry.get_dfg("gemm_t4x4_u2")
+        assert registry.get_dfg("gemm_t4x4_u2") is first
+        harness.clear_caches()
+        assert registry.get_dfg("gemm_t4x4_u2") is not first
+
+
+# ---------------------------------------------------------------------------
+# Property: every curated recipe preserves semantics on random memories
+# ---------------------------------------------------------------------------
+
+_PROPERTY_CASES = [
+    (kernel, recipe)
+    for kernel, recipes in sorted(registry.FAMILY_RECIPES.items())
+    for recipe in recipes
+]
+
+
+@settings(deadline=None, max_examples=12,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.data_too_large])
+@given(case=st.sampled_from(_PROPERTY_CASES), data=st.data())
+def test_recipes_preserve_semantics_on_random_memory(case, data):
+    kernel, recipe = case
+    spec = registry.get_workload(f"{kernel}_{recipe}")
+    base = compile_kernel(spec.source, name="base",
+                          array_shapes=spec.shape_dict, unroll=1)
+    variant = compile_kernel(spec.source, name="variant",
+                             array_shapes=spec.shape_dict, unroll=1,
+                             recipe=spec.recipe)
+    base_interp = DFGInterpreter(base)
+    variant_interp = DFGInterpreter(variant)
+    template = base_interp.prepare_memory()
+    variant_interp.prepare_memory(template)
+    for name in template.names:
+        size = len(template.array(name))
+        values = data.draw(
+            st.lists(st.integers(0, 0xFFFF), min_size=size, max_size=size),
+            label=f"array {name}")
+        for index, value in enumerate(values):
+            template.write(name, index, value)
+    base_memory, variant_memory = template.copy(), template.copy()
+    base_interp.run(base_memory)
+    variant_interp.run(variant_memory)
+    written = set(base.arrays_written()) | set(variant.arrays_written())
+    for name in sorted(written):
+        assert base_memory.array(name) == variant_memory.array(name), \
+            f"{kernel} recipe {recipe} diverges on array '{name}'"
