@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Submit-and-stream client for the shared sweep/result service.
+
+Demonstrates the ``repro serve`` workflow end to end:
+
+1. submit a grid spec (the ``repro sweep`` vocabulary) to ``POST
+   /sweep`` and print each cell the moment it lands (NDJSON stream);
+2. submit the *same* grid again and watch the warm request answer
+   entirely from the shared store (``evaluated == 0``);
+3. read the ``/stats`` endpoint (request counters + store inventory).
+
+By default the script spins up an in-process server on an ephemeral
+port with a temporary store, so it is self-contained:
+
+    python examples/serve_client.py
+
+Point it at a long-running ``repro serve`` instead with:
+
+    python -m repro serve --port 8640 --cache-dir .repro-cache &
+    python examples/serve_client.py --host 127.0.0.1 --port 8640
+"""
+
+import argparse
+import tempfile
+from pathlib import Path
+
+from repro.eval import client
+
+#: A small demo grid: two workloads on two fabrics.
+WORKLOADS = ["dwconv", "conv2x2"]
+ARCHS = ["st", "plaid"]
+
+
+def stream_once(host: str, port: int, label: str) -> None:
+    print(f"--- {label}: POST /sweep "
+          f"workloads={WORKLOADS} archs={ARCHS}")
+    for record in client.stream_sweep(host, port, workloads=WORKLOADS,
+                                      archs=ARCHS, timeout=300):
+        if "summary" in record:
+            summary = record["summary"]
+            print(f"summary: {summary['total']} cells, "
+                  f"{summary['evaluated']} evaluated, "
+                  f"{summary['cached']} cached, "
+                  f"{summary['coalesced']} coalesced in "
+                  f"{summary['seconds']:.2f}s")
+        else:
+            print(f"  [{record['index']}] {record['workload']:>8} on "
+                  f"{record['arch']:>6} via {record['mapper']:>6}: "
+                  f"{record['status']} cycles={record['cycles']} "
+                  f"({record['source']})")
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--host", default=None,
+                        help="connect to a running server instead of "
+                             "starting one in-process")
+    parser.add_argument("--port", type=int, default=8640)
+    args = parser.parse_args(argv)
+
+    server = None
+    if args.host is None:
+        from repro.eval.serve import SweepServer
+
+        store = Path(tempfile.mkdtemp(prefix="repro-serve-demo-")) / "store"
+        server = SweepServer(store=store, jobs=2,
+                             use_processes=False).start_background()
+        host, port = server.host, server.port
+        print(f"started demo server on http://{host}:{port} "
+              f"(store: {store})")
+    else:
+        host, port = args.host, args.port
+
+    try:
+        stream_once(host, port, "cold request")
+        stream_once(host, port, "warm request (shared store)")
+        stats = client.get_json(host, port, "/stats")
+        serve = stats["serve"]
+        print(f"--- GET /stats: {serve['requests']} requests, "
+              f"{serve['evaluated']} evaluated, {serve['cached']} cached")
+        if stats["store"] is not None:
+            print(f"store: {stats['store']['results']} results, "
+                  f"{stats['store']['reader_skipped']} reader-skipped")
+    finally:
+        if server is not None:
+            server.shutdown_background()
+
+
+if __name__ == "__main__":
+    main()

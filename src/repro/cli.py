@@ -20,6 +20,12 @@ Commands:
   shard stores (byte-preserving, deterministic conflict policy),
   ``stats`` inventories one, ``gc`` prunes corrupt/stale/expired
   entries;
+* ``serve``    — run the long-running sweep/result service: an HTTP
+  server in front of one result store; clients POST grid specs to
+  ``/sweep`` and stream per-cell results as NDJSON, concurrent
+  identical requests are deduplicated against one evaluation, and
+  admission control keeps heavy traffic on the cache (see
+  :mod:`repro.eval.serve`);
 * ``mappers``  — list every registered mapper (the registry in
   :mod:`repro.mapping.engine` is the single source of truth; ``--mapper``
   choices everywhere derive from it);
@@ -307,8 +313,13 @@ def _cache_dir_argument(args) -> "str":
 
     root = args.dir or os.environ.get(CACHE_DIR_ENV, "").strip() \
         or ".repro-cache"
-    if not Path(root).is_dir():
-        raise ReproError(f"no store directory at {root}")
+    path = Path(root)
+    if not path.is_dir():
+        kind = "is a regular file, not" if path.exists() else "does not name"
+        raise ReproError(
+            f"store path '{root}' {kind} a store directory (pass an "
+            "existing result-store directory, e.g. .repro-cache, or set "
+            f"${CACHE_DIR_ENV})")
     return root
 
 
@@ -350,6 +361,36 @@ def cmd_cache_gc(args) -> int:
     report = gc_store(_cache_dir_argument(args), schema=args.schema,
                       older_than=older_than)
     print(report.summary())
+    return 0
+
+
+def cmd_serve(args) -> int:
+    import os
+
+    from repro.eval import parallel
+    from repro.eval.cache import CACHE_DIR_ENV
+    from repro.eval.serve import SweepServer
+
+    store = None
+    if not args.no_cache:
+        store = args.cache_dir \
+            or os.environ.get(CACHE_DIR_ENV, "").strip() \
+            or ".repro-cache"
+    jobs = args.jobs if args.jobs is not None else parallel.default_jobs()
+    server = SweepServer(store=store, host=args.host, port=args.port,
+                         jobs=jobs, queue_limit=args.queue_limit)
+
+    def announce(srv) -> None:
+        # Printed only once the socket is bound, so --port 0 reports
+        # the real ephemeral port.
+        where = srv.store.root if srv.store is not None else "disabled"
+        print(f"repro serve: http://{srv.host}:{srv.port} "
+              f"(store: {where}, jobs: {srv.jobs}, "
+              f"queue limit: {srv.queue_limit})", flush=True)
+        print("endpoints: POST /sweep (grid spec -> NDJSON stream), "
+              "GET /stats, GET /healthz", flush=True)
+
+    server.run(announce=announce)
     return 0
 
 
@@ -548,6 +589,40 @@ def build_parser() -> argparse.ArgumentParser:
                       help="remove entries older than AGE "
                            "(e.g. 3600, 90m, 12h, 7d)")
     p_gc.set_defaults(func=cmd_cache_gc)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the shared sweep/result service over HTTP",
+        description=(
+            "Serve one result store over HTTP: clients POST a grid spec "
+            "(the sweep vocabulary: workloads, archs, mapper) to /sweep "
+            "and stream per-cell results back as NDJSON the moment each "
+            "cell lands.  Cells already in the store are answered "
+            "without evaluation, concurrent identical requests share "
+            "one evaluation per cell, and admission control (--jobs "
+            "slots, --queue-limit waiters) answers overload with "
+            "structured ServerBusy rows instead of queueing without "
+            "bound.  Served results are bit-identical to a local "
+            "'repro sweep' of the same grid."
+        ))
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default: 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8640,
+                         help="TCP port (0 picks an ephemeral port and "
+                              "prints it; default: 8640)")
+    p_serve.add_argument("--jobs", type=int, default=None,
+                         help="concurrent evaluation slots / worker "
+                              "processes (default: $REPRO_JOBS or 1)")
+    p_serve.add_argument("--queue-limit", type=int, default=32,
+                         help="max cells waiting for an evaluation slot "
+                              "before requests get ServerBusy rows "
+                              "(default: 32)")
+    p_serve.add_argument("--no-cache", action="store_true",
+                         help="serve without a persistent store "
+                              "(in-process memo only)")
+    p_serve.add_argument("--cache-dir", metavar="DIR",
+                         help="result store directory (default: "
+                              "$REPRO_CACHE_DIR or .repro-cache)")
+    p_serve.set_defaults(func=cmd_serve)
 
     p_wl = sub.add_parser(
         "workloads", help="list evaluated workloads and variant families")

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterator
 
+from repro.errors import ReproError
 from repro.utils.atomicio import atomic_write_text, is_temp_file
 from repro.utils.signature import arch_signature, canonical_json
 
@@ -282,7 +283,14 @@ class ResultStore:
 
     def __post_init__(self) -> None:
         self.root = Path(self.root)
-        self.root.mkdir(parents=True, exist_ok=True)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except (FileExistsError, NotADirectoryError):
+            # A regular file at (or inside) the store path: every CLI
+            # entry point reports this as usage, never a traceback.
+            raise ReproError(
+                f"result store path '{self.root}' is not a directory "
+                "(pass a store directory, e.g. .repro-cache)") from None
 
     # -- paths ----------------------------------------------------------
     def entry_path(self, fp: str) -> Path:
@@ -357,17 +365,27 @@ class ResultStore:
         for path in self._entries():
             yield path.stem
 
-    def iter_results(self) -> "Iterator[KernelResult]":
+    def iter_results(self, on_skip=None) -> "Iterator[KernelResult]":
         """Every decodable :class:`KernelResult` currently stored.
 
         Pure read (no stats, no healing deletions); cached failures and
         damaged entries are skipped.  This is the history feed for the
         portfolio racer's :class:`~repro.mapping.race.BudgetAdvisor`.
+
+        ``on_skip(fingerprint, status)`` — when given — is called for
+        every *damaged* entry the iteration drops (``status`` is
+        ``'corrupt'`` or ``'stale'``), so consumers can distinguish "no
+        history" from "history I could not read": the budget advisor
+        counts them and the ``repro serve`` stats endpoint / ``repro
+        cache stats`` surface the tally.  Recorded failures and entries
+        deleted mid-iteration are healthy skips and are not reported.
         """
         for path in self._entries():
             status, payload = self._read_entry(path)
             if status == "ok" and not isinstance(payload, CachedFailure):
                 yield payload
+            elif status in ("corrupt", "stale") and on_skip is not None:
+                on_skip(path.stem, status)
 
     # -- write ----------------------------------------------------------
     def put(self, fp: str, result: "KernelResult") -> None:

@@ -1,0 +1,99 @@
+"""Stdlib HTTP client for the ``repro serve`` result service.
+
+Tests, benchmarks, CI, and the example script all talk to the server
+through this module, so the wire format is exercised end to end with
+nothing but ``http.client`` — which transparently decodes the server's
+chunked transfer encoding, and whose response object is a buffered
+reader, so NDJSON lines can be consumed as they arrive.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+from repro.errors import ReproError
+
+
+def _request(host: str, port: int, method: str, path: str,
+             body: "str | None" = None, timeout: "float | None" = None):
+    connection = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        headers = {"Content-Type": "application/json"} if body else {}
+        connection.request(method, path, body=body, headers=headers)
+        response = connection.getresponse()
+    except BaseException:
+        connection.close()
+        raise
+    return connection, response
+
+
+def stream_sweep(host: str, port: int, *,
+                 workloads: "list[str] | None" = None,
+                 archs: "list[str] | None" = None,
+                 mapper: "str | None" = None,
+                 timeout: "float | None" = None):
+    """POST a grid spec to ``/sweep``; yield records as they stream in.
+
+    Yields one dict per cell (``SWEEP_HEADERS`` fields plus ``index``
+    and ``source``) in completion order — a cell can arrive the moment
+    it lands, long before slower cells finish — then the final
+    ``{"summary": ...}`` record.  Raises :class:`ReproError` on non-200
+    responses (e.g. a malformed grid spec).
+    """
+    spec: dict = {}
+    if workloads is not None:
+        spec["workloads"] = list(workloads)
+    if archs is not None:
+        spec["archs"] = list(archs)
+    if mapper is not None:
+        spec["mapper"] = mapper
+    connection, response = _request(
+        host, port, "POST", "/sweep", body=json.dumps(spec),
+        timeout=timeout)
+    try:
+        if response.status != 200:
+            detail = response.read().decode("utf-8", "replace")
+            raise ReproError(
+                f"serve request failed ({response.status}): {detail}")
+        while True:
+            line = response.readline()
+            if not line:
+                break
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+    finally:
+        connection.close()
+
+
+def sweep(host: str, port: int, **kwargs) -> tuple[list[dict], "dict | None"]:
+    """Submit a grid and collect ``(cells, summary)``.
+
+    Cells come back sorted by grid ``index`` — the deterministic order
+    ``repro sweep`` reports — whatever order they streamed in.
+    """
+    cells: list[dict] = []
+    summary = None
+    for record in stream_sweep(host, port, **kwargs):
+        if "summary" in record:
+            summary = record["summary"]
+        else:
+            cells.append(record)
+    cells.sort(key=lambda record: record["index"])
+    return cells, summary
+
+
+def get_json(host: str, port: int, path: str,
+             timeout: "float | None" = None) -> dict:
+    """GET a JSON endpoint (``/healthz``, ``/stats``)."""
+    connection, response = _request(host, port, "GET", path,
+                                    timeout=timeout)
+    try:
+        payload = response.read().decode("utf-8", "replace")
+        if response.status != 200:
+            raise ReproError(
+                f"GET {path} failed ({response.status}): {payload}")
+        return json.loads(payload)
+    finally:
+        connection.close()

@@ -363,12 +363,20 @@ def merge_stores(sources: "list[Path | str | ResultStore]",
     # constructed (constructing it mkdirs): a typo'd source must not
     # leave an empty destination directory behind.
     dest_root = dest.root if isinstance(dest, ResultStore) else Path(dest)
+    if dest_root.exists() and not dest_root.is_dir():
+        raise ReproError(
+            f"merge destination '{dest_root}' is not a directory "
+            "(--into takes a store directory, e.g. --into merged-cache)")
     report = MergeReport(sources=[], destination=str(dest_root))
     roots = []
     for source in sources:
         root = source.root if isinstance(source, ResultStore) else Path(source)
         if not root.is_dir():
-            raise ReproError(f"source store {root} is not a directory")
+            detail = ("is a regular file, not a store directory"
+                      if root.exists() else "does not exist")
+            raise ReproError(
+                f"source store '{root}' {detail} "
+                "(sources must be existing result-store directories)")
         if root.resolve() == dest_root.resolve():
             raise ReproError(
                 f"destination {dest_root} is also listed as a source")
@@ -431,7 +439,11 @@ def _open_existing_store(store: "Path | str | ResultStore") -> ResultStore:
         return store
     root = Path(store)
     if not root.is_dir():
-        raise ReproError(f"no store directory at {root}")
+        kind = ("'%s' is a regular file, not a store directory" % root
+                if root.exists() else "no store directory at '%s'" % root)
+        raise ReproError(
+            f"{kind} (pass an existing result-store directory, "
+            "e.g. .repro-cache or $REPRO_CACHE_DIR)")
     return ResultStore(root)
 
 
@@ -448,6 +460,11 @@ class StoreInventory:
     temp_files: int = 0
     total_bytes: int = 0
     by_schema: dict = field(default_factory=dict)   # schema -> count
+    #: Damaged entries a history reader (``ResultStore.iter_results``)
+    #: silently drops: corrupt + schema-stale.  Non-zero means "no
+    #: history" answers from the budget advisor or the serve stats
+    #: endpoint may really be "unreadable history" — gc the store.
+    reader_skipped: int = 0
 
     def render(self) -> str:
         schemas = ", ".join(
@@ -461,6 +478,8 @@ class StoreInventory:
             f"{self.failures} failures, {self.stale} schema-stale, "
             f"{self.corrupt} corrupt)",
             f"schemas: {schemas}",
+            f"reader-skipped: {self.reader_skipped} "
+            "(damaged entries history readers drop; gc to heal)",
             f"temp files: {self.temp_files}",
             f"size: {self.total_bytes} bytes",
         ])
@@ -483,8 +502,10 @@ def inventory(store: "Path | str | ResultStore") -> StoreInventory:
         inv.by_schema[entry.schema] = inv.by_schema.get(entry.schema, 0) + 1
         if entry.status == "corrupt":
             inv.corrupt += 1
+            inv.reader_skipped += 1
         elif entry.status == "stale":
             inv.stale += 1
+            inv.reader_skipped += 1
         elif entry.is_failure:
             inv.failures += 1
         else:

@@ -356,6 +356,19 @@ def memo_contains(workload: str, arch_key: str,
             resolve_mapper(arch_key, mapper_key)) in _MEMO
 
 
+def memo_lookup(workload: str, arch_key: str,
+                mapper_key: str | None = None) -> "KernelResult | None":
+    """The memoized result for this configuration, or ``None``.
+
+    A read-only peek: unlike :func:`evaluate_kernel` it can never
+    trigger an evaluation, so callers that must account for cache hits
+    themselves (the result service's admission path) stay side-effect
+    free.
+    """
+    return _MEMO.get((workload, arch_key,
+                      resolve_mapper(arch_key, mapper_key)))
+
+
 def clear_caches() -> None:
     """Drop memoized evaluations (tests that tweak parameters use this).
 

@@ -104,22 +104,29 @@ SWEEP_HEADERS = ["workload", "arch", "mapper", "status", "ii", "cycles",
                  "perf_per_area", "cached", "error"]
 
 
+def cell_row(outcome) -> list[object]:
+    """One ``SWEEP_HEADERS`` row for a single cell outcome.
+
+    Shared by the batch exporters below and by the streaming result
+    service (:mod:`repro.eval.serve`), so a served NDJSON row and a
+    ``repro sweep --format json`` cell are the same record by
+    construction.
+    """
+    cell = outcome.cell
+    if outcome.ok:
+        r = outcome.result
+        return [cell.workload, cell.arch_key, cell.mapper, "ok",
+                r.ii, r.cycles, r.makespan, r.energy,
+                r.power.total_mw, r.area.fabric_um2,
+                r.perf_per_area, outcome.from_cache, ""]
+    return [cell.workload, cell.arch_key, cell.mapper,
+            "error", "", "", "", "", "", "", "", False,
+            f"{outcome.error_type}: {outcome.error}"]
+
+
 def sweep_rows(report) -> list[list[object]]:
     """One row per sweep cell, in grid order (see ``SWEEP_HEADERS``)."""
-    rows = []
-    for outcome in report.outcomes:
-        cell = outcome.cell
-        if outcome.ok:
-            r = outcome.result
-            rows.append([cell.workload, cell.arch_key, cell.mapper, "ok",
-                         r.ii, r.cycles, r.makespan, r.energy,
-                         r.power.total_mw, r.area.fabric_um2,
-                         r.perf_per_area, outcome.from_cache, ""])
-        else:
-            rows.append([cell.workload, cell.arch_key, cell.mapper,
-                         "error", "", "", "", "", "", "", "", False,
-                         f"{outcome.error_type}: {outcome.error}"])
-    return rows
+    return [cell_row(outcome) for outcome in report.outcomes]
 
 
 def render_sweep(report) -> str:

@@ -177,6 +177,10 @@ class BudgetAdvisor:
     def __init__(self, records=None) -> None:
         #: {(domain, fabric signature, mapper): [wins, trials]}
         self._records: dict = dict(records or {})
+        #: Damaged store entries dropped while building the records —
+        #: distinguishes "no history" (cold store) from "unreadable
+        #: history" (corrupt/stale entries a gc would heal).
+        self.skipped_entries: int = 0
 
     @classmethod
     def from_store(cls, store) -> "BudgetAdvisor":
@@ -184,13 +188,18 @@ class BudgetAdvisor:
 
         Only entries naming a known workload and architecture key count
         (others cannot be classified); composite entries are skipped —
-        they do not say which candidate produced them.
+        they do not say which candidate produced them.  Damaged entries
+        the store reader drops are tallied in ``skipped_entries``.
         """
         advisor = cls()
         if store is None:
             return advisor
+
+        def _count_skip(fingerprint, status):
+            advisor.skipped_entries += 1
+
         groups: dict = {}
-        for result in store.iter_results():
+        for result in store.iter_results(on_skip=_count_skip):
             signature = _fabric_signature(result.arch_key)
             if signature is None:
                 continue
@@ -363,11 +372,22 @@ def _ensure_pool(workers: int) -> ProcessPoolExecutor:
 
 
 def shutdown_racing() -> None:
-    """Tear down the persistent race pool (tests and atexit)."""
-    global _POOL
+    """Tear down the persistent race pool (tests, atexit, interrupts).
+
+    The shared incumbent channel is retired along with the pool: after
+    ``shutdown(wait=False)`` a fork worker may still be draining its
+    current candidate and publish into the array it inherited.  If the
+    next race reused that array, a stale publish landing *after* its
+    reset would poison the cutoff — candidates would be pruned against
+    a bound no completed candidate of this race established, which
+    breaks the bit-identical-winner contract.  Dropping the reference
+    means stale publishes land in an orphaned array nobody reads.
+    """
+    global _POOL, _INCUMBENT
     if _POOL is not None and _POOL_PID == os.getpid():
         _POOL.shutdown(wait=False, cancel_futures=True)
     _POOL = None
+    _INCUMBENT = None
 
 
 atexit.register(shutdown_racing)
@@ -620,6 +640,14 @@ def run_race(info: MapperInfo, dfg: DFG, arch: Architecture,
             # candidates are standalone-deterministic, so restarting the
             # whole race in-process yields the same winner.
             shutdown_racing()
+        except BaseException:
+            # Ctrl-C / SIGTERM mid-race: tear the pool down before
+            # propagating so the interrupted process neither leaks
+            # orphaned fork workers nor leaves a poisoned _POOL (or a
+            # still-shared incumbent channel) that would break the next
+            # composite mapping in this process.
+            shutdown_racing()
+            raise
     outcomes = _race_interleaved(info, dfg, arch, seed_for, plan,
                                  makespan_floor)
     return _finish(info, dfg, arch, outcomes)

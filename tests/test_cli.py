@@ -281,3 +281,102 @@ def test_sweep_variants_json_has_best_variants(tmp_path, capsys):
     assert rows and all(row["family"] == "conv2x2" for row in rows)
     assert all(row["speedup"] >= 1.0 for row in rows)
     clear_caches()
+
+
+# ---------------------------------------------------------------------------
+# Cache-command failure paths: exit 2 with a usage hint, never a traceback
+# ---------------------------------------------------------------------------
+def test_cache_stats_missing_dir_exits_2(tmp_path, capsys):
+    assert main(["cache", "stats", str(tmp_path / "no-such-store")]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "store directory" in err and ".repro-cache" in err
+
+
+def test_cache_stats_regular_file_exits_2(tmp_path, capsys):
+    bogus = tmp_path / "bogus"
+    bogus.write_text("not a store")
+    assert main(["cache", "stats", str(bogus)]) == 2
+    err = capsys.readouterr().err
+    assert "regular file" in err and "store directory" in err
+
+
+def test_cache_gc_missing_dir_exits_2(tmp_path, capsys):
+    assert main(["cache", "gc", str(tmp_path / "nope")]) == 2
+    assert "store directory" in capsys.readouterr().err
+
+
+def test_cache_gc_regular_file_exits_2(tmp_path, capsys):
+    bogus = tmp_path / "bogus"
+    bogus.write_text("x")
+    assert main(["cache", "gc", str(bogus)]) == 2
+    assert "regular file" in capsys.readouterr().err
+
+
+def test_cache_merge_missing_source_exits_2(tmp_path, capsys):
+    assert main(["cache", "merge", str(tmp_path / "ghost"),
+                 "--into", str(tmp_path / "merged")]) == 2
+    err = capsys.readouterr().err
+    assert "does not exist" in err
+    # The typo'd merge must not leave an empty destination behind.
+    assert not (tmp_path / "merged").exists()
+
+
+def test_cache_merge_source_regular_file_exits_2(tmp_path, capsys):
+    bogus = tmp_path / "file-source"
+    bogus.write_text("x")
+    assert main(["cache", "merge", str(bogus),
+                 "--into", str(tmp_path / "merged")]) == 2
+    assert "regular file" in capsys.readouterr().err
+
+
+def test_cache_merge_destination_regular_file_exits_2(tmp_path, capsys):
+    source = tmp_path / "src-store"
+    source.mkdir()
+    bogus = tmp_path / "dest-file"
+    bogus.write_text("x")
+    assert main(["cache", "merge", str(source),
+                 "--into", str(bogus)]) == 2
+    assert "--into takes a store directory" in capsys.readouterr().err
+
+
+def test_sweep_cache_dir_regular_file_exits_2(tmp_path, capsys):
+    bogus = tmp_path / "cache-file"
+    bogus.write_text("x")
+    assert main(["sweep", "--workloads", "dwconv", "--arch", "st",
+                 "--cache-dir", str(bogus)]) == 2
+    assert "not a directory" in capsys.readouterr().err
+
+
+def test_cache_stats_surfaces_reader_skipped(tmp_path, capsys):
+    import json
+
+    store_dir = tmp_path / "store"
+    assert main(["sweep", "--workloads", "dwconv", "--arch", "st",
+                 "--cache-dir", str(store_dir)]) == 0
+    (store_dir / ("b" * 64 + ".json")).write_text("{ damaged")
+    capsys.readouterr()
+
+    assert main(["cache", "stats", str(store_dir)]) == 0
+    assert "reader-skipped: 1" in capsys.readouterr().out
+    assert main(["cache", "stats", str(store_dir), "--json"]) == 0
+    record = json.loads(capsys.readouterr().out)
+    assert record["reader_skipped"] == 1 and record["corrupt"] == 1
+
+
+# ---------------------------------------------------------------------------
+# serve
+# ---------------------------------------------------------------------------
+def test_serve_cache_dir_regular_file_exits_2(tmp_path, capsys):
+    bogus = tmp_path / "cache-file"
+    bogus.write_text("x")
+    assert main(["serve", "--cache-dir", str(bogus), "--port", "0"]) == 2
+    assert "not a directory" in capsys.readouterr().err
+
+
+def test_serve_parser_defaults():
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(["serve"])
+    assert args.host == "127.0.0.1" and args.port == 8640
+    assert args.queue_limit == 32 and not args.no_cache

@@ -294,7 +294,7 @@ def test_merge_rejects_destination_as_source(tmp_path):
 
 
 def test_merge_rejects_missing_source(tmp_path):
-    with pytest.raises(ReproError, match="not a directory"):
+    with pytest.raises(ReproError, match="does not exist"):
         merge_stores([tmp_path / "nope"], tmp_path / "dst")
     # Regression: source validation runs before the destination store is
     # constructed — a typo'd source must not leave an empty dest behind.
@@ -559,7 +559,7 @@ def test_cli_cache_stats_json(tmp_path, capsys):
 
 def test_cli_cache_stats_missing_dir(tmp_path, capsys):
     assert _run_cli(["cache", "stats", str(tmp_path / "nope")]) == 2
-    assert "no store directory" in capsys.readouterr().err
+    assert "does not name a store directory" in capsys.readouterr().err
 
 
 def test_cli_cache_gc(tmp_path, capsys):

@@ -314,3 +314,204 @@ def test_leftover_temp_files_are_not_entries(store):
     assert list(store.fingerprints()) == [fp]
     assert store.clear() == 1                   # tmp removed, not counted
     assert not list(store.root.glob("*.json"))
+
+
+# ---------------------------------------------------------------------------
+# Power-loss durability (fsync ordering in atomic_write_text)
+# ---------------------------------------------------------------------------
+def test_atomic_write_fsyncs_data_before_rename(tmp_path, monkeypatch):
+    """Power-loss regression: rename atomicity is metadata-only, so the
+    temp file's data must hit disk *before* os.replace commits the new
+    name — otherwise journal replay can surface a zero-length entry
+    under the destination name."""
+    from repro.utils import atomicio
+
+    events = []
+    real_fsync, real_replace = atomicio.os.fsync, atomicio.os.replace
+
+    def spy_fsync(fd):
+        events.append("fsync")
+        return real_fsync(fd)
+
+    def spy_replace(src, dst):
+        events.append("replace")
+        return real_replace(src, dst)
+
+    monkeypatch.setattr(atomicio.os, "fsync", spy_fsync)
+    monkeypatch.setattr(atomicio.os, "replace", spy_replace)
+    atomicio.atomic_write_text(tmp_path / "entry.json", '{"ok": 1}')
+    assert events[:2] == ["fsync", "replace"]   # data durable first
+    # ... and the rename record itself afterwards (directory fsync).
+    assert events.count("fsync") == 2
+    assert (tmp_path / "entry.json").read_text() == '{"ok": 1}'
+
+
+def test_atomic_write_durable_false_skips_fsync(tmp_path, monkeypatch):
+    from repro.utils import atomicio
+
+    def forbidden(fd):
+        raise AssertionError("durable=False must not fsync")
+
+    monkeypatch.setattr(atomicio.os, "fsync", forbidden)
+    atomicio.atomic_write_text(tmp_path / "scratch.txt", "x",
+                               durable=False)
+    assert (tmp_path / "scratch.txt").read_text() == "x"
+
+
+def test_fsync_failure_keeps_previous_entry(store, monkeypatch):
+    """A filesystem refusing the data fsync behaves like any other
+    failed write: counted, swallowed, previous entry intact, no temp
+    debris."""
+    from repro.utils import atomicio
+
+    result = _result()
+    fp = evaluation_fingerprint("dwconv", "plaid")
+    store.put(fp, result)
+    before = store._entry_path(fp).read_bytes()
+
+    def refuse(fd):
+        raise OSError(5, "fsync refused")
+
+    monkeypatch.setattr(atomicio.os, "fsync", refuse)
+    store.put(fp, result)
+    assert store.stats.write_errors == 1
+    monkeypatch.undo()
+
+    assert store._entry_path(fp).read_bytes() == before
+    assert store.get(fp) == result
+    assert list(store.fingerprints()) == [fp]
+
+
+def test_directory_fsync_failure_is_swallowed(tmp_path, monkeypatch):
+    """Platforms/filesystems that refuse to open directories still get
+    a correct (merely less durable) write."""
+    import os as _os
+
+    from repro.utils import atomicio
+
+    real_open = atomicio.os.open
+
+    def refuse_directories(path, flags, *args):
+        if flags & getattr(_os, "O_DIRECTORY", 0):
+            raise OSError(22, "directory fds unsupported here")
+        return real_open(path, flags, *args)
+
+    monkeypatch.setattr(atomicio.os, "open", refuse_directories)
+    atomicio.atomic_write_text(tmp_path / "f.json", "ok")
+    assert (tmp_path / "f.json").read_text() == "ok"
+    atomicio.fsync_dir(tmp_path / "does-not-exist")     # also a no-op
+
+
+# ---------------------------------------------------------------------------
+# iter_results damage reporting (on_skip)
+# ---------------------------------------------------------------------------
+def test_iter_results_reports_damaged_entries(store):
+    from repro.errors import ReproError as _ReproError
+
+    result = _result()
+    fp = evaluation_fingerprint("dwconv", "plaid")
+    store.put(fp, result)
+    healthy_text = store._entry_path(fp).read_text()
+    # A recorded failure: skipped by iter_results but *healthy*.
+    store.put_failure(evaluation_fingerprint("dwconv", "st"),
+                      _ReproError("doomed"))
+    (store.root / ("c" * 64 + ".json")).write_text("{ truncated garbage")
+    (store.root / ("d" * 64 + ".json")).write_text(
+        healthy_text.replace(f'"schema": {cache.SCHEMA_VERSION}',
+                             '"schema": 999'))
+
+    skipped = []
+    results = list(store.iter_results(
+        on_skip=lambda fingerprint, status: skipped.append(
+            (fingerprint, status))))
+    assert [r == result for r in results] == [True]
+    assert sorted(skipped) == [("c" * 64, "corrupt"), ("d" * 64, "stale")]
+    # Default call (no callback) stays silent and drops the same set.
+    assert len(list(store.iter_results())) == 1
+
+
+def test_inventory_counts_reader_skipped(store):
+    from repro.eval.distributed import inventory
+
+    result = _result()
+    store.put(evaluation_fingerprint("dwconv", "plaid"), result)
+    (store.root / ("e" * 64 + ".json")).write_text("not json at all")
+
+    inv = inventory(store.root)
+    assert inv.results == 1
+    assert inv.corrupt == 1
+    assert inv.reader_skipped == 1
+    assert "reader-skipped: 1" in inv.render()
+
+
+# ---------------------------------------------------------------------------
+# Concurrent access (the serve workload in miniature)
+# ---------------------------------------------------------------------------
+def test_concurrent_readers_never_observe_partial_entries(tmp_path):
+    """Threaded get/iter_results/stats racing puts and an aggressive gc:
+    readers may see an entry or its absence, never a torn one."""
+    import threading
+    import time as _time
+
+    from repro.eval.distributed import gc_store
+
+    result = _result()
+    fps = [format(i, "x") * 16 for i in range(1, 17)]   # 64-hex-ish names
+    root = tmp_path / "hammer"
+    cache.ResultStore(root)                             # create the dir
+    stop = threading.Event()
+    damage: list = []
+    errors: list = []
+
+    def writer():
+        mine = cache.ResultStore(root)
+        try:
+            while not stop.is_set():
+                for fp in fps:
+                    mine.put(fp, result)
+        except BaseException as error:      # noqa: BLE001
+            errors.append(error)
+
+    def reader():
+        mine = cache.ResultStore(root)
+        try:
+            while not stop.is_set():
+                for fp in fps[::3]:
+                    got = mine.get(fp)
+                    assert got is None or got == result
+                list(mine.iter_results(
+                    on_skip=lambda f, s: damage.append((f, s))))
+                len(mine)
+        except BaseException as error:      # noqa: BLE001
+            errors.append(error)
+
+    def collector():
+        try:
+            while not stop.is_set():
+                # older_than=0 expires everything it scans — the most
+                # hostile deletion pattern a reader can face.
+                gc_store(root, older_than=0.0)
+                _time.sleep(0.01)
+        except BaseException as error:      # noqa: BLE001
+            errors.append(error)
+
+    threads = [threading.Thread(target=writer),
+               threading.Thread(target=reader),
+               threading.Thread(target=reader),
+               threading.Thread(target=collector)]
+    for thread in threads:
+        thread.start()
+    _time.sleep(0.8)
+    stop.set()
+    for thread in threads:
+        thread.join(timeout=30)
+
+    assert not errors
+    # Damaged observations would mean a reader saw a torn entry —
+    # atomic_write_text's whole contract.
+    assert damage == []
+    # The directory is still a fully usable store afterwards.
+    survivor = cache.ResultStore(root)
+    for fp in fps:
+        survivor.put(fp, result)
+    assert all(survivor.get(fp) == result for fp in fps)

@@ -332,3 +332,94 @@ def test_registry_race_entry():
     assert info.racing
     assert info.candidates == get_mapper("best").candidates
     assert not get_mapper("best").racing
+
+
+# ---------------------------------------------------------------------------
+# Interrupt teardown: no orphaned workers, no poisoned pool/channel
+# ---------------------------------------------------------------------------
+def test_shutdown_retires_incumbent_channel(reset_racing):
+    """A worker of a torn-down pool may still publish into the shared
+    array it inherited; the next race must get a *fresh* channel so the
+    stale publish cannot poison its cutoffs."""
+    if "fork" not in __import__("multiprocessing").get_all_start_methods():
+        pytest.skip("no fork start method on this platform")
+    race._ensure_pool(2)
+    old_channel = race._INCUMBENT
+    assert old_channel is not None
+
+    shutdown_racing()
+    assert race._POOL is None
+    assert race._INCUMBENT is None          # channel retired with the pool
+
+    race._ensure_pool(2)
+    new_channel = race._INCUMBENT
+    assert new_channel is not None and new_channel is not old_channel
+    # A stale worker publishing into the retired channel...
+    with old_channel.get_lock():
+        old_channel[0] = 1
+        old_channel[1] = 0
+    # ...leaves the live race's incumbent untouched (no bogus cutoff).
+    with new_channel.get_lock():
+        assert new_channel[0] == race._NO_INCUMBENT
+        assert new_channel[1] == race._NO_INCUMBENT
+
+
+def test_interrupted_race_tears_down_and_recovers(reset_racing,
+                                                  monkeypatch):
+    """Ctrl-C mid-race: the pool and channel are torn down before the
+    interrupt propagates, and the *next* composite mapping in the same
+    process races normally and stays bit-identical to ``best``."""
+    if "fork" not in __import__("multiprocessing").get_all_start_methods():
+        pytest.skip("no fork start method on this platform")
+    configure_racing(max_workers=2)
+    arch = build_arch("st")
+    dfg = get_dfg("dwconv")
+    race._ensure_pool(2)                    # a live pool to orphan
+
+    def interrupted(*_args, **_kwargs):
+        raise KeyboardInterrupt
+
+    with monkeypatch.context() as patch:
+        patch.setattr(race, "_race_pooled", interrupted)
+        with pytest.raises(KeyboardInterrupt):
+            race.run_race(get_mapper("race"), dfg, arch, _seeds("dwconv"))
+
+    assert race._POOL is None               # no poisoned pool left behind
+    assert race._INCUMBENT is None          # no shared channel either
+
+    best = map_kernel("best", dfg, arch, _seeds("dwconv"))
+    raced = map_kernel("race", dfg, arch, _seeds("dwconv"))
+    _assert_bit_identical(raced, best, "recovery after interrupt")
+
+
+def test_broken_pool_still_falls_back_interleaved(reset_racing,
+                                                  monkeypatch):
+    """The pre-existing fallback contract survives the interrupt fix:
+    a broken pool degrades to the in-process schedule, same winner."""
+    from concurrent.futures.process import BrokenProcessPool
+
+    configure_racing(max_workers=2)
+    arch = build_arch("st")
+    dfg = get_dfg("dwconv")
+
+    def broken(*_args, **_kwargs):
+        raise BrokenProcessPool("workers died")
+
+    best = map_kernel("best", dfg, arch, _seeds("dwconv"))
+    with monkeypatch.context() as patch:
+        patch.setattr(race, "_race_pooled", broken)
+        raced = race.run_race(get_mapper("race"), dfg, arch,
+                              _seeds("dwconv"))
+    _assert_bit_identical(raced, best, "broken-pool fallback")
+
+
+def test_advisor_counts_unreadable_history(tmp_path):
+    """`skipped_entries` distinguishes a cold store from corrupt
+    history (the serve /stats and `repro cache stats` surface)."""
+    from repro.eval.cache import ResultStore
+
+    store = ResultStore(tmp_path / "store")
+    (store.root / ("a" * 64 + ".json")).write_text("{ torn entry")
+    advisor = BudgetAdvisor.from_store(store)
+    assert advisor.skipped_entries == 1
+    assert BudgetAdvisor.from_store(None).skipped_entries == 0
