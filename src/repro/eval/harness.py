@@ -300,7 +300,8 @@ def simulate_kernel(workload: str, arch_key: str,
     Uses the same registry dispatch and stable per-configuration seeds
     as :func:`evaluate_kernel`, so the simulated mapping is exactly the
     one the metrics pipeline prices.  ``engine`` selects the compiled
-    schedule, the vectorized ``numpy`` replay of the same tables, or
+    schedule, the vectorized ``numpy`` replay of the same tables, the
+    generated-C ``native`` replay (:mod:`repro.native`), or
     the interpreted ``reference`` loop — all bit-identical by
     invariant; ``None`` defers to the process-wide setting
     (``REPRO_SIM_ENGINE``, default compiled).  The knob exists for
@@ -313,7 +314,7 @@ def simulate_kernel(workload: str, arch_key: str,
 
     if engine is not None and engine not in SIM_ENGINES:
         raise ReproError(f"unknown simulation engine '{engine}' "
-                         "(compiled, numpy, reference)")
+                         f"({', '.join(SIM_ENGINES)})")
     mapper_key = resolve_mapper(arch_key, mapper_key)
     dfg = get_dfg(workload)
     arch = build_arch(arch_key)
@@ -387,3 +388,5 @@ def clear_caches() -> None:
     registry.clear_dfg_caches()   # variant expansion multiplies cached DFGs
     from repro.mapping import race
     race.clear_advisor()    # budget history is derived from the store
+    from repro.native import build as native_build
+    native_build.clear_native_caches()   # re-resolve toolchain/cache dir

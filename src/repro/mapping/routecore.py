@@ -33,19 +33,25 @@ Cores are cached per ``(arch structural key, II)`` — the same keying as
 the MRRG pool in :mod:`repro.mapping.engine`, which binds a core to every
 MRRG it leases — so structurally equal fabrics share compiled tables.
 
-Env knobs: ``REPRO_ROUTING_ENGINE=compiled|reference`` selects the
-router implementation process-wide (default ``compiled``; anything else
-falls back to ``compiled``).  :func:`set_routing_engine` overrides it at
-runtime (benchmarks and conformance tests flip it per run).
+Env knobs: ``REPRO_ROUTING_ENGINE=compiled|native|reference`` selects
+the router implementation process-wide (default ``compiled``; an
+invalid value raises a structured :class:`~repro.errors.ConfigError`
+naming the valid choices on first use, via :func:`active_engine`).
+:func:`set_routing_engine` overrides it at runtime (benchmarks and
+conformance tests flip it per run).  ``native`` runs the same search as
+generated C (:mod:`repro.native.routegen`), bit-identical to
+``compiled`` and falling back to it when no C toolchain is available.
 """
 
 from __future__ import annotations
 
+import ctypes
 import heapq
 import os
 
 from repro.arch.base import Architecture
 from repro.arch.mrrg import MRRG, Route, RouteStep
+from repro.errors import ConfigError
 from repro.utils.signature import arch_structural_key
 
 #: Routing gives up beyond this many cycles of transport (the router
@@ -53,16 +59,38 @@ from repro.utils.signature import arch_structural_key
 #: without a circular import).
 MAX_TRANSPORT_CYCLES = 64
 
-ROUTING_ENGINES = ("compiled", "reference")
+ROUTING_ENGINES = ("compiled", "native", "reference")
 
-_env_engine = os.environ.get("REPRO_ROUTING_ENGINE", "compiled").strip()
+ROUTING_ENGINE_ENV = "REPRO_ROUTING_ENGINE"
+
+_env_engine = os.environ.get(ROUTING_ENGINE_ENV, "compiled").strip()
 #: The active router implementation; read by the route_edge wrapper on
 #: every call so tests/benchmarks can flip it mid-process.
 ACTIVE_ENGINE = _env_engine if _env_engine in ROUTING_ENGINES else "compiled"
+#: Deferred $REPRO_ROUTING_ENGINE validation: importing with a bad value
+#: must not explode (the CLI may be running ``repro engines`` to debug
+#: it), but the first actual routing call raises a structured error
+#: naming the valid choices instead of silently routing with the default.
+ENV_ERROR = None if _env_engine in ROUTING_ENGINES else (
+    f"invalid {ROUTING_ENGINE_ENV}={_env_engine!r}: "
+    f"valid routing engines are {', '.join(ROUTING_ENGINES)}")
 
 
 def routing_engine() -> str:
-    """The router implementation in effect (``compiled``/``reference``)."""
+    """The router implementation in effect (no env validation)."""
+    return ACTIVE_ENGINE
+
+
+def active_engine() -> str:
+    """The router implementation for this call, validating the env knob.
+
+    Raises :class:`~repro.errors.ConfigError` when
+    ``$REPRO_ROUTING_ENGINE`` holds an invalid value — at first use, so
+    a bad environment surfaces as one structured message instead of a
+    deep traceback (or a silent default) mid-sweep.
+    """
+    if ENV_ERROR is not None:
+        raise ConfigError(ENV_ERROR)
     return ACTIVE_ENGINE
 
 
@@ -72,13 +100,16 @@ def set_routing_engine(name: str) -> str:
     ``reference`` also stops :func:`ensure_core` from binding cores to
     new MRRGs, so the interpreted path pays no array bookkeeping —
     exactly the pre-compiled-core behaviour the benchmarks time against.
+    An explicit runtime selection supersedes (and clears) a pending
+    invalid-environment error.
     """
-    global ACTIVE_ENGINE
+    global ACTIVE_ENGINE, ENV_ERROR
     if name not in ROUTING_ENGINES:
         raise ValueError(
             f"unknown routing engine '{name}' (one of {ROUTING_ENGINES})")
     previous = ACTIVE_ENGINE
     ACTIVE_ENGINE = name
+    ENV_ERROR = None
     return previous
 
 
@@ -119,8 +150,15 @@ class RoutingHistory:
 
     def __init__(self, core: "RouteCore | None" = None) -> None:
         self.core = core
-        self.array = [0.0] * (core.n_rids * core.ii) \
-            if core is not None else None
+        if core is None:
+            self.array = None
+        elif ACTIVE_ENGINE == "native":
+            # ctypes doubles read zero-copy from the generated C search;
+            # item reads/writes behave like a list, so the Python
+            # engines consume the same buffer unchanged.
+            self.array = (ctypes.c_double * (core.n_rids * core.ii))()
+        else:
+            self.array = [0.0] * (core.n_rids * core.ii)
         self.table: dict[tuple, float] = {}
 
     @classmethod
@@ -240,13 +278,13 @@ def ensure_core(mrrg: MRRG) -> RouteCore | None:
     """Bind (and return) the compiled core for ``mrrg``.
 
     Returns the already-bound core when present; binds a cached one when
-    the compiled engine is active; returns ``None`` under the reference
-    engine so interpreted searches pay zero array bookkeeping.
+    the compiled or native engine is active; returns ``None`` under the
+    reference engine so interpreted searches pay zero array bookkeeping.
     """
     core = mrrg._core
     if core is not None:
         return core
-    if ACTIVE_ENGINE != "compiled":
+    if ACTIVE_ENGINE == "reference":
         return None
     core = route_core_for(mrrg.arch, mrrg.ii)
     mrrg.bind_core(core)

@@ -1,0 +1,46 @@
+"""Native codegen backend: compiled cores emitted as C, cached on disk.
+
+The hot loops of the toolchain — the negotiated-congestion router's
+Dijkstra search (:mod:`repro.mapping.routecore`) and the per-mapping
+compiled simulation schedule (:mod:`repro.sim.engine`) — are
+table-driven: every decision they make is determined by flat arrays
+built once per (architecture structural signature, II) or per mapping.
+This package emits those tables as generated C, compiles them into
+shared objects with the system C compiler (plain ``cc`` invocation via
+:mod:`ctypes` — no new dependency), and loads them as drop-in engine
+implementations selected with ``REPRO_ROUTING_ENGINE=native`` /
+``REPRO_SIM_ENGINE=native`` (or :func:`set_routing_engine` /
+:func:`set_simulation_engine`).
+
+The standing invariant is **bit-identity with the compiled Python
+cores**: the same Route steps and float cost stream, the same
+:class:`SimulationReport` counters and verify tri-state, and the same
+errors on malformed mappings.  The generated C only ever *adds*
+IEEE-754 doubles that Python computed (no reassociation, no
+``-ffast-math``), and the simulation codegen reuses the vector
+backend's screen-and-delegate discipline so any input the C code could
+mishandle is executed by the Python core instead.  The Python cores
+remain the conformance oracles and the automatic fallback when no C
+toolchain is present — ``native`` never changes results, only speed.
+
+Generated sources and built artifacts live in a disk cache next to the
+result store (``$REPRO_NATIVE_DIR``, default ``<cache dir>/native``),
+keyed by content digest plus a codegen schema version and managed with
+the :mod:`repro.utils.atomicio` write discipline plus an exclusive
+build lock, so concurrent sweep workers never observe a half-built
+module and the same module is compiled once per machine, not once per
+process.
+"""
+
+from repro.native.build import (
+    NATIVE_SCHEMA_VERSION, clear_native_caches, find_compiler,
+    native_cache_dir, toolchain_available,
+)
+
+__all__ = [
+    "NATIVE_SCHEMA_VERSION",
+    "clear_native_caches",
+    "find_compiler",
+    "native_cache_dir",
+    "toolchain_available",
+]

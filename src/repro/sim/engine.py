@@ -38,7 +38,7 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 
-from repro.errors import SimulationError
+from repro.errors import ConfigError, SimulationError
 from repro.ir.interpreter import DFGInterpreter, MemoryImage
 from repro.ir.ops import OP_ARITY, Opcode, evaluate, to_unsigned
 from repro.sim.spm import Scratchpad
@@ -55,36 +55,59 @@ __all__ = [
 # Engine selection (mirrors the REPRO_ROUTING_ENGINE knob of the router)
 # ---------------------------------------------------------------------------
 #: Temporal execution engines: ``compiled`` (PR 3 table replay), ``numpy``
-#: (PR 6 vectorized replay of the same tables), ``reference`` (the
+#: (PR 6 vectorized replay of the same tables), ``native`` (PR 10
+#: generated-C replay of the same tables), ``reference`` (the
 #: interpreted oracle).
-SIM_ENGINES = ("compiled", "numpy", "reference")
+SIM_ENGINES = ("compiled", "numpy", "native", "reference")
 
-_env_engine = os.environ.get("REPRO_SIM_ENGINE", "compiled").strip()
+SIM_ENGINE_ENV = "REPRO_SIM_ENGINE"
+
+_env_engine = os.environ.get(SIM_ENGINE_ENV, "compiled").strip()
 #: The engine in effect when callers pass ``engine=None``; read on every
 #: dispatch so tests/benchmarks can flip it mid-process.
 ACTIVE_SIM_ENGINE = _env_engine if _env_engine in SIM_ENGINES else "compiled"
+#: Deferred $REPRO_SIM_ENGINE validation: a bad value must not explode at
+#: import time (``repro engines`` may be diagnosing it), but the first
+#: dispatch raises a structured error naming the valid choices instead
+#: of silently simulating with the default.
+ENV_ERROR = None if _env_engine in SIM_ENGINES else (
+    f"invalid {SIM_ENGINE_ENV}={_env_engine!r}: "
+    f"valid simulation engines are {', '.join(SIM_ENGINES)}")
 
 
 def simulation_engine() -> str:
-    """The temporal engine in effect (``compiled``/``numpy``/``reference``)."""
+    """The temporal engine in effect (no env validation)."""
     return ACTIVE_SIM_ENGINE
 
 
 def set_simulation_engine(name: str) -> str:
-    """Select the temporal engine; returns the previous setting."""
-    global ACTIVE_SIM_ENGINE
+    """Select the temporal engine; returns the previous setting.
+
+    An explicit runtime selection supersedes (and clears) a pending
+    invalid-environment error.
+    """
+    global ACTIVE_SIM_ENGINE, ENV_ERROR
     if name not in SIM_ENGINES:
         raise ValueError(
             f"unknown simulation engine '{name}' (one of {SIM_ENGINES})")
     previous = ACTIVE_SIM_ENGINE
     ACTIVE_SIM_ENGINE = name
+    ENV_ERROR = None
     return previous
 
 
 def resolve_engine(engine: str | None) -> str:
     """Resolve an explicit engine choice, falling back to the process-wide
-    setting (``REPRO_SIM_ENGINE`` / :func:`set_simulation_engine`)."""
+    setting (``REPRO_SIM_ENGINE`` / :func:`set_simulation_engine`).
+
+    Raises :class:`~repro.errors.ConfigError` when the fallback is an
+    invalid ``$REPRO_SIM_ENGINE`` value — at first use, so a bad
+    environment is one structured message, not a deep traceback (or a
+    silently wrong engine) mid-sweep.
+    """
     if engine is None:
+        if ENV_ERROR is not None:
+            raise ConfigError(ENV_ERROR)
         return ACTIVE_SIM_ENGINE
     if engine not in SIM_ENGINES:
         raise ValueError(

@@ -61,9 +61,95 @@ except ImportError:                              # pragma: no cover
     np = None
     HAVE_NUMPY = False
 
-__all__ = ["HAVE_NUMPY", "VectorSchedule", "vec_evaluate"]
+__all__ = ["HAVE_NUMPY", "VectorSchedule", "screen_schedule", "vec_evaluate"]
 
 _WORD_MASK = 0xFFFF
+
+
+def screen_schedule(cs: CompiledSchedule, total: int, end_cycle: int,
+                    nodes, by_id) -> bool:
+    """True iff no error can possibly fire in this window.
+
+    All the compiled engine's checks (bypass-before-production,
+    unreadable/missing place deliveries, occupancy-before-production,
+    place capacity, SPM ports, missing operands) are data-independent,
+    so they are decidable from the tables alone, once per (schedule,
+    iteration count).  Both fast backends — the numpy
+    :class:`VectorSchedule` and the native C schedule
+    (:mod:`repro.native.simgen`) — gate on this screen and delegate any
+    window that fails it to the compiled engine, which raises the
+    identical error at the identical point.  Numpy-free on purpose: the
+    native backend screens without numpy installed.
+    """
+    ii = cs.ii
+    trips = cs.dfg.trip_counts
+    for cn in nodes:
+        if cn.sigma < 0 or cn.sigma > cs.makespan - 1:
+            return False                 # node would fire < total times
+        if cn.kind != _EXEC_ALU and cn.access is None:
+            return False                 # malformed memory node
+        if cn.kind == _EXEC_STORE and cn.store_pos < 0 \
+                and cn.const_u is None:
+            return False                 # store without a value
+        if cn.kind == _EXEC_ALU and any(
+                kind == _ARG_MISSING for kind, _ in cn.arg_plan):
+            return False                 # missing operand at execution
+        if cn.access is not None and len(cn.access.coeffs) > len(trips):
+            return False                 # address needs absent indices
+        for src, distance, mode, final_place, readable, index \
+                in cn.specs:
+            if distance >= total:
+                continue                 # never read: init value only
+            producer = by_id.get(src)
+            if producer is None:
+                return False
+            if mode == _SRC_BYPASS:
+                # Same-or-later-cycle production: bypass read misses.
+                if producer.sigma >= cn.sigma + distance * ii:
+                    return False
+            elif mode == _SRC_PLACE:
+                if not readable:
+                    return False
+                # The delivery must land exactly at every consuming
+                # cycle: the route needs (final_place, rel) with
+                # rel == sigma_dst + d*II, and rel >= 1 (transport
+                # starts delivering at cycle 1).
+                need_rel = cn.sigma + distance * ii
+                route = cs.mapping.routes.get(index)
+                if route is None or need_rel < 1 \
+                        or (final_place, need_rel) not in route.places:
+                    return False
+            else:
+                return False             # deferred = malformed route
+
+    # Transport: every occupancy must follow its net's production.
+    for route in cs.mapping.routes.values():
+        producer = by_id.get(route.net)
+        if producer is None:
+            return False
+        for _place, rel in route.places:
+            if producer.sigma >= rel:
+                return False
+
+    # Place capacity at steady state (ramp-up counts are subsets).
+    for phase_entries in cs.occ_phase:
+        per_place: dict[int, int] = {}
+        seen = set()
+        for entry in phase_entries:
+            if entry in seen:
+                continue                 # same (place, net, rel) dedups
+            seen.add(entry)
+            per_place[entry[0]] = per_place.get(entry[0], 0) + 1
+        for place, count in per_place.items():
+            if count > cs.arch.place(place).capacity:
+                return False
+
+    # SPM aggregate port limit per cycle (= per phase, steady state).
+    banks = cs.arch.spm_banks
+    for phase_list in cs.fire_phase:
+        if sum(1 for cn in phase_list if cn.kind != _EXEC_ALU) > banks:
+            return False
+    return True
 
 
 def vec_evaluate(op: Opcode, args):
@@ -287,78 +373,8 @@ class VectorSchedule:
         return plan
 
     def _screen(self, total: int, end_cycle: int, nodes, by_id) -> bool:
-        """True iff no error can possibly fire in this window (all the
-        compiled engine's checks are data-independent)."""
-        cs = self.compiled
-        ii = cs.ii
-        trips = cs.dfg.trip_counts
-        for cn in nodes:
-            if cn.sigma < 0 or cn.sigma > cs.makespan - 1:
-                return False                 # node would fire < total times
-            if cn.kind != _EXEC_ALU and cn.access is None:
-                return False                 # malformed memory node
-            if cn.kind == _EXEC_STORE and cn.store_pos < 0 \
-                    and cn.const_u is None:
-                return False                 # store without a value
-            if cn.kind == _EXEC_ALU and any(
-                    kind == _ARG_MISSING for kind, _ in cn.arg_plan):
-                return False                 # missing operand at execution
-            if cn.access is not None and len(cn.access.coeffs) > len(trips):
-                return False                 # address needs absent indices
-            for src, distance, mode, final_place, readable, index \
-                    in cn.specs:
-                if distance >= total:
-                    continue                 # never read: init value only
-                producer = by_id.get(src)
-                if producer is None:
-                    return False
-                if mode == _SRC_BYPASS:
-                    # Same-or-later-cycle production: bypass read misses.
-                    if producer.sigma >= cn.sigma + distance * ii:
-                        return False
-                elif mode == _SRC_PLACE:
-                    if not readable:
-                        return False
-                    # The delivery must land exactly at every consuming
-                    # cycle: the route needs (final_place, rel) with
-                    # rel == sigma_dst + d*II, and rel >= 1 (transport
-                    # starts delivering at cycle 1).
-                    need_rel = cn.sigma + distance * ii
-                    route = cs.mapping.routes.get(index)
-                    if route is None or need_rel < 1 \
-                            or (final_place, need_rel) not in route.places:
-                        return False
-                else:
-                    return False             # deferred = malformed route
-
-        # Transport: every occupancy must follow its net's production.
-        for route in cs.mapping.routes.values():
-            producer = by_id.get(route.net)
-            if producer is None:
-                return False
-            for _place, rel in route.places:
-                if producer.sigma >= rel:
-                    return False
-
-        # Place capacity at steady state (ramp-up counts are subsets).
-        for phase_entries in cs.occ_phase:
-            per_place: dict[int, int] = {}
-            seen = set()
-            for entry in phase_entries:
-                if entry in seen:
-                    continue                 # same (place, net, rel) dedups
-                seen.add(entry)
-                per_place[entry[0]] = per_place.get(entry[0], 0) + 1
-            for place, count in per_place.items():
-                if count > cs.arch.place(place).capacity:
-                    return False
-
-        # SPM aggregate port limit per cycle (= per phase, steady state).
-        banks = cs.arch.spm_banks
-        for phase_list in cs.fire_phase:
-            if sum(1 for cn in phase_list if cn.kind != _EXEC_ALU) > banks:
-                return False
-        return True
+        """Delegates to the shared :func:`screen_schedule`."""
+        return screen_schedule(self.compiled, total, end_cycle, nodes, by_id)
 
     @staticmethod
     def _has_self_edge(cn, total: int) -> bool:
